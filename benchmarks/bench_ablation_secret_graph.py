@@ -1,0 +1,20 @@
+"""Ablation A bench: all-pairs vs anytrust client PRNG work."""
+
+from repro.bench import ablations
+
+
+def test_ablation_secret_graph(benchmark, show_table):
+    result = benchmark.pedantic(ablations.secret_graph_ablation, rounds=1, iterations=1)
+    show_table(result)
+    # Anytrust client work is flat in N; all-pairs grows linearly.
+    anytrust = result.series["anytrust"]
+    allpairs = result.series["all-pairs"]
+    assert len(set(anytrust)) == 1
+    assert allpairs[-1] / allpairs[0] > 100
+
+
+def test_ablation_churn_restarts(benchmark, show_table):
+    result = benchmark.pedantic(ablations.churn_restart_ablation, rounds=1, iterations=1)
+    show_table(result)
+    attempts = dict(zip(result.x_values, result.series["attempts"]))
+    assert attempts["all-pairs"] > attempts["dissent"] == 1.0

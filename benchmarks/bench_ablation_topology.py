@@ -1,0 +1,12 @@
+"""Ablation B bench: communication topology message counts."""
+
+from repro.bench import ablations
+
+
+def test_ablation_topology(benchmark, show_table):
+    result = benchmark.pedantic(ablations.topology_ablation, rounds=1, iterations=1)
+    show_table(result)
+    broadcast = result.series["broadcast(N^2)"]
+    dissent = result.series["dissent(N+M^2)"]
+    # At 5120 clients the hierarchy saves >1000x in messages.
+    assert broadcast[-1] / dissent[-1] > 1000

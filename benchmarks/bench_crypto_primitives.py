@@ -1,0 +1,69 @@
+"""Microbenchmarks of the real crypto primitives backing the cost model."""
+
+import random
+
+from repro.crypto import PrivateKey, dh, elgamal, padding, prng, schnorr, shuffle
+from repro.crypto.groups import testing_group as make_group
+
+
+def test_bench_pair_stream(benchmark):
+    secret = b"\x42" * 32
+    out = benchmark(prng.pair_stream, secret, 7, 64 * 1024)
+    assert len(out) == 64 * 1024
+
+
+def test_bench_schnorr_sign(benchmark):
+    group = make_group()
+    key = PrivateKey.generate(group, random.Random(1))
+    sig = benchmark(schnorr.sign, key, b"round output digest")
+    assert schnorr.verify(key.public, b"round output digest", sig)
+
+
+def test_bench_schnorr_verify(benchmark):
+    group = make_group()
+    key = PrivateKey.generate(group, random.Random(1))
+    sig = schnorr.sign(key, b"round output digest")
+    assert benchmark(schnorr.verify, key.public, b"round output digest", sig)
+
+
+def test_bench_elgamal_encrypt(benchmark):
+    group = make_group()
+    key = PrivateKey.generate(group, random.Random(2))
+    element = group.random_element(random.Random(3))
+    ct = benchmark(elgamal.encrypt, key.public, element)
+    assert elgamal.decrypt(key, ct) == element
+
+
+def test_bench_dh_shared_secret(benchmark):
+    group = make_group()
+    rng = random.Random(4)
+    a = PrivateKey.generate(group, rng)
+    b = PrivateKey.generate(group, rng)
+    secret = benchmark(dh.shared_secret, a, b.public)
+    assert secret == dh.shared_secret(b, a.public)
+
+
+def test_bench_padding_roundtrip(benchmark):
+    message = b"m" * 1024
+
+    def roundtrip():
+        return padding.decode(padding.encode(message))
+
+    assert benchmark(roundtrip) == message
+
+
+def test_bench_shuffle_cascade_small(benchmark):
+    group = make_group()
+    rng = random.Random(5)
+    servers = [PrivateKey.generate(group, rng) for _ in range(3)]
+    publics = [key.public for key in servers]
+    inputs = [
+        shuffle.prepare_element_input(publics, group.random_element(rng), rng)
+        for _ in range(4)
+    ]
+
+    def cascade():
+        return shuffle.run_cascade(servers, inputs, soundness_bits=4, rng=rng)
+
+    transcript = benchmark.pedantic(cascade, rounds=1, iterations=1)
+    assert shuffle.verify_transcript(publics, transcript)

@@ -1,0 +1,43 @@
+"""End-to-end real-crypto round benchmarks (the functional prototype)."""
+
+from repro.core import DissentSession
+
+
+def _build(num_servers, num_clients, seed=3):
+    session = DissentSession.build(
+        num_servers=num_servers, num_clients=num_clients, seed=seed
+    )
+    session.setup()
+    return session
+
+
+def test_bench_real_round_8_clients(benchmark):
+    session = _build(3, 8)
+    session.post(0, b"x" * 64)
+
+    def round_once():
+        return session.run_round()
+
+    record = benchmark.pedantic(round_once, rounds=3, iterations=1)
+    assert record.completed
+
+
+def test_bench_real_round_24_clients(benchmark):
+    session = _build(5, 24)
+    session.post(0, b"x" * 64)
+
+    def round_once():
+        return session.run_round()
+
+    record = benchmark.pedantic(round_once, rounds=2, iterations=1)
+    assert record.completed
+
+
+def test_bench_key_shuffle_setup(benchmark):
+    def setup():
+        session = DissentSession.build(num_servers=3, num_clients=6, seed=4)
+        session.setup()
+        return session
+
+    session = benchmark.pedantic(setup, rounds=1, iterations=1)
+    assert session.scheduled

@@ -1,0 +1,18 @@
+"""Figure 10 bench: Alexa-style page downloads across 4 configurations."""
+
+from repro.bench import fig10
+
+
+def test_fig10_web_browsing(benchmark, show_table):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    show_table(result)
+    spm = {name: series[3] for name, series in result.series.items()}
+    # Paper ordering: direct << tor < dissent < dissent+tor.
+    assert spm["direct"] < spm["tor"] < spm["dissent"] < spm["dissent+tor"]
+    # Rough magnitudes (paper: ~10 / ~40 / ~45 / ~55 s per MB).
+    assert 5 <= spm["direct"] <= 20
+    assert 25 <= spm["tor"] <= 55
+    assert 30 <= spm["dissent"] <= 60
+    assert 40 <= spm["dissent+tor"] <= 75
+    # Dissent+Tor costs within ~2x of Tor alone (paper: ~35% slowdown).
+    assert spm["dissent+tor"] / spm["tor"] < 2.0

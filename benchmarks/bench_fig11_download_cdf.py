@@ -1,0 +1,21 @@
+"""Figure 11 bench: CDF of the Figure 10 download times."""
+
+from repro.bench import fig11
+
+
+def test_fig11_download_cdf(benchmark, show_table):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    show_table(result)
+    median_idx = result.x_values.index("50%")
+    tor_median = result.series["tor"][median_idx]
+    both_median = result.series["dissent+tor"][median_idx]
+    # Paper: Tor reaches 50% of pages around 15s; Dissent+Tor a few
+    # seconds later (just under 20s).
+    assert 10 <= tor_median <= 22
+    assert tor_median < both_median <= tor_median + 10
+    # CDFs are monotone and ordered at every quantile.
+    for name, series in result.series.items():
+        assert series == sorted(series), name
+    for i in range(len(result.x_values)):
+        assert result.series["direct"][i] < result.series["tor"][i]
+        assert result.series["dissent+tor"][i] > result.series["dissent"][i]

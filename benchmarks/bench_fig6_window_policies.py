@@ -1,0 +1,14 @@
+"""Figure 6 bench: window-closure policy CDFs over the synthetic trace."""
+
+from repro.bench import fig6
+
+
+def test_fig6_window_policies(benchmark, show_table):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    show_table(result)
+    # Shape assertions: early-cutoff policies beat the baseline by >=10x at
+    # the median, and miss rates fall as the multiplier grows (§5.1).
+    median_idx = result.x_values.index("50%")
+    assert result.series["baseline"][median_idx] > 10 * result.series["1.1x"][median_idx]
+    rates = fig6.miss_rates()
+    assert rates["1.1x"] > rates["1.2x"] > rates["2x"]

@@ -1,0 +1,24 @@
+"""Figure 7 bench: time per round vs client count (32 servers)."""
+
+from repro.bench import fig7
+
+
+def test_fig7_client_scaling(benchmark, show_table):
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    show_table(result)
+    micro_total = [
+        s + c
+        for s, c in zip(result.series["1%-server(Det)"], result.series["1%-client(Det)"])
+    ]
+    # Paper shape: sub-second microblog rounds up to ~320 clients, >1s past 1000.
+    assert all(t < 1.0 for n, t in zip(result.x_values, micro_total) if n <= 320)
+    assert all(t > 1.0 for n, t in zip(result.x_values, micro_total) if n >= 1000)
+    # 128K rounds are bandwidth-dominated: far slower than microblog rounds.
+    share_total = [
+        s + c
+        for s, c in zip(result.series["128K-server(Det)"], result.series["128K-client(Det)"])
+    ]
+    assert all(st > mt for st, mt in zip(share_total, micro_total))
+    # Round time grows with client count in every series.
+    assert micro_total[-1] > micro_total[0]
+    assert share_total[-1] > share_total[0]

@@ -1,0 +1,16 @@
+"""Figure 8 bench: time per round vs server count (640 clients)."""
+
+from repro.bench import fig8
+
+
+def test_fig8_server_scaling(benchmark, show_table):
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    show_table(result)
+    client_128k = result.series["128K-client"]
+    server_128k = result.series["128K-server"]
+    # Paper shape: client-related time falls as servers are added...
+    assert client_128k[-1] < client_128k[0] / 5
+    # ...while server-related time grows at the high end (shared server LAN).
+    assert server_128k[-1] > min(server_128k)
+    # Microblog client time also falls with more servers.
+    assert result.series["1%-client"][-1] < result.series["1%-client"][0]

@@ -1,0 +1,21 @@
+"""Figure 9 bench: whole-protocol stage times (24 servers, 128 B)."""
+
+from repro.bench import fig9
+
+
+def test_fig9_full_protocol(benchmark, show_table):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    show_table(result)
+    blame = result.series["blame-shuffle"]
+    key = result.series["key-shuffle"]
+    dcnet = result.series["dcnet-round"]
+    evaluation = result.series["blame-evaluation"]
+    # Paper shape at 1000 clients: blame shuffle over an hour.
+    assert blame[-1] > 3600
+    # Key shuffle is much cheaper than the general message shuffle (§3.10).
+    assert all(k < b / 5 for k, b in zip(key, blame))
+    # The DC-net round is negligible next to the shuffles everywhere.
+    assert all(d < k / 10 for d, k in zip(dcnet, key))
+    # Every stage grows with client count.
+    for series in (blame, key, evaluation):
+        assert series == sorted(series)

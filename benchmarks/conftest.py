@@ -1,0 +1,21 @@
+"""Benchmark suite configuration.
+
+Each ``bench_fig*`` module regenerates one of the paper's evaluation
+figures and prints the resulting table (run pytest with ``-s`` to see
+them); pytest-benchmark measures the harness itself so regressions in the
+experiment pipeline show up over time.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show_table(capsys):
+    """Print a figure table so it lands in the benchmark log."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.table())
+
+    return _show

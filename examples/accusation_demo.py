@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The accusation process end to end (paper §3.9).
+
+A disruptor client anonymously jams another member's slot.  The victim
+finds a witness bit (guaranteed by randomized padding), signals via the
+shuffle-request field, transmits a pseudonym-signed accusation through a
+verifiable accusation shuffle, and the servers trace the witness bit to
+the disruptor — who is expelled without re-forming the group.
+"""
+
+import random
+
+from repro.core import DissentSession
+from repro.core.adversary import DisruptorClient
+from repro.core.client import DissentClient
+from repro.core.server import DissentServer
+from repro.core.session import build_keys
+
+
+def main() -> None:
+    rng = random.Random(11)
+    built = build_keys("test-256", 3, 6, None, rng)
+    servers = [
+        DissentServer(built.definition, j, key, random.Random(j))
+        for j, key in enumerate(built.server_keys)
+    ]
+    clients = [
+        (DisruptorClient if i == 5 else DissentClient)(
+            built.definition, i, key, random.Random(100 + i)
+        )
+        for i, key in enumerate(built.client_keys)
+    ]
+    session = DissentSession(built.definition, servers, clients, rng)
+    session.setup()
+
+    victim, disruptor = clients[2], clients[5]
+    disruptor.target_slot = victim.slot
+    print(f"disruptor {disruptor.name} targets slot {victim.slot} "
+          f"(owned, unknowably to it, by {victim.name})")
+
+    session.post(2, b"the message they tried to jam")
+
+    for _ in range(14):
+        record = session.run_round()
+        if victim.disruption_detected and victim.pending_accusation:
+            acc = victim.pending_accusation
+            print(f"round {record.round_number}: victim holds witness bit "
+                  f"{acc.bit_index} of round {acc.round_number}")
+        if record.shuffle_requested:
+            print(f"round {record.round_number}: shuffle request seen -> "
+                  "running accusation shuffle")
+            verdicts = session.run_accusation_phase()
+            for verdict in verdicts:
+                print(f"  VERDICT: {verdict.culprit_kind} "
+                      f"{verdict.culprit_index} — {verdict.reason}")
+            if verdicts:
+                disruptor.target_slot = None
+                break
+
+    print(f"\nexpelled clients: {sorted(session.expelled)}")
+    for _ in range(4):
+        session.run_round()
+    delivered = [m for (_, _, m) in session.delivered_messages(0)]
+    assert b"the message they tried to jam" in delivered
+    print("message delivered after expulsion:", delivered[-1].decode())
+
+
+if __name__ == "__main__":
+    main()

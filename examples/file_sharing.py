@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Anonymous bulk file sharing (the paper's 128 KB data-sharing workload).
+
+One client anonymously publishes a 24 KB file; every group member
+reassembles it from the sender's slot, which grows via the length field
+(§3.8) and shrinks back when the transfer completes.
+"""
+
+import hashlib
+
+from repro.apps import FileSharingApp
+from repro.core import DissentSession, Policy
+
+
+def main() -> None:
+    session = DissentSession.build(
+        num_servers=3, num_clients=4, seed=9, policy=Policy(alpha=0.0)
+    )
+    session.setup()
+    app = FileSharingApp(session, chunk_payload=2048)
+
+    data = hashlib.shake_256(b"demo corpus").digest(24 * 1024)
+    file_id = app.share(1, data)
+    print(f"client-1 shares {len(data)} bytes anonymously (file {file_id.hex()})")
+
+    received = app.run_until_complete(file_id, max_rounds=48)
+    assert received == data
+    rounds = len(session.records)
+    print(f"all {len(session.clients)} members reassembled the file "
+          f"after {rounds} rounds")
+
+    capacities = [r.output.cleartext and len(r.output.cleartext) for r in session.records if r.output]
+    print(f"round sizes grew from {min(capacities)} to {max(capacities)} bytes "
+          "as the slot expanded, then shrank back")
+
+
+if __name__ == "__main__":
+    main()

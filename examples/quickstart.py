@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: anonymous group messaging in a few lines.
+
+Builds a 3-server / 8-client Dissent group with real cryptography, runs
+the scheduling key shuffle, posts two anonymous messages, and shows that
+every member receives them attributed only to pseudonymous slots.
+"""
+
+from repro.core import DissentSession
+
+
+def main() -> None:
+    # 1. Create a group: fresh keys, anytrust servers, static membership.
+    session = DissentSession.build(num_servers=3, num_clients=8, seed=2012)
+
+    # 2. The verifiable key shuffle assigns every client a secret slot.
+    session.setup()
+    print("group id:", session.definition.group_id().hex()[:16])
+    print("slots assigned (secret to everyone but the owner):")
+    for client in session.clients:
+        print(f"  {client.name} -> slot {client.slot}")
+
+    # 3. Two clients queue anonymous messages.
+    session.post(2, b"meet at the fountain at noon")
+    session.post(5, b"bring the documents")
+
+    # 4. Run DC-net rounds until delivery (request bit -> slot -> send).
+    rounds = session.run_until_quiet()
+    print(f"\ndelivered after {rounds} rounds")
+
+    # 5. Every member sees the same messages, attributed to slots only.
+    for round_number, slot, message in session.delivered_messages(0):
+        print(f"  round {round_number}, slot {slot}: {message.decode()}")
+
+    participation = session.records[-1].participation
+    print(f"\nlast round participation count: {participation} (published, §3.7)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Paper-scale performance study: regenerate all six evaluation figures.
+
+Runs the simulated-mode experiment behind every figure in the paper's §5
+and prints the tables EXPERIMENTS.md records.  Takes a couple of minutes.
+"""
+
+from repro.bench import ablations, fig6, fig7, fig8, fig9, fig10, fig11
+
+
+def main() -> None:
+    for module in (fig6, fig7, fig8, fig9, fig10, fig11):
+        print(module.run().table())
+        print()
+    print(ablations.secret_graph_ablation().table())
+    print()
+    print(ablations.topology_ablation().table())
+    print()
+    print(ablations.churn_restart_ablation().table())
+
+
+if __name__ == "__main__":
+    main()

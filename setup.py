@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment this library targets may lack the ``wheel`` package, which
+PEP 517 editable installs require.  Keeping a ``setup.py`` lets
+``pip install -e . --no-use-pep517`` (or ``python setup.py develop``) work
+offline; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

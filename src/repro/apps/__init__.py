@@ -1,0 +1,58 @@
+"""Applications over the Dissent core (paper §4).
+
+* :mod:`repro.apps.microblog` — anonymous microblogging (§4.2).
+* :mod:`repro.apps.filesharing` — bulk anonymous file sharing (§5.2).
+* :mod:`repro.apps.tunnel` — SOCKS-like flow tunneling (§4.1).
+* :mod:`repro.apps.webmodel` — synthetic Alexa Top-100 page corpus (§5.4).
+* :mod:`repro.apps.torsim` — circuit-level Tor comparison model (§5.4).
+* :mod:`repro.apps.browsing` — WiNoN and the four browsing paths (§4.3, §5.4).
+"""
+
+from repro.apps.microblog import MicroblogFeed, Post, microblog_workload
+from repro.apps.filesharing import FileSharingApp, FileReceiver, chunk_file, file_digest
+from repro.apps.tunnel import TunnelEntry, TunnelExit, TunnelRecord, fetch_through_tunnel
+from repro.apps.webmodel import PageProfile, corpus_stats, generate_pages, generate_top100
+from repro.apps.torsim import TorCircuitModel
+from repro.apps.browsing import (
+    DissentLanModel,
+    IsolationViolation,
+    PathModel,
+    WiNoNEnvironment,
+    browse_corpus,
+    direct_path,
+    dissent_path,
+    dissent_tor_path,
+    seconds_per_megabyte,
+    standard_paths,
+    tor_path,
+)
+
+__all__ = [
+    "MicroblogFeed",
+    "Post",
+    "microblog_workload",
+    "FileSharingApp",
+    "FileReceiver",
+    "chunk_file",
+    "file_digest",
+    "TunnelEntry",
+    "TunnelExit",
+    "TunnelRecord",
+    "fetch_through_tunnel",
+    "PageProfile",
+    "corpus_stats",
+    "generate_pages",
+    "generate_top100",
+    "TorCircuitModel",
+    "DissentLanModel",
+    "IsolationViolation",
+    "PathModel",
+    "WiNoNEnvironment",
+    "browse_corpus",
+    "direct_path",
+    "dissent_path",
+    "dissent_tor_path",
+    "seconds_per_megabyte",
+    "standard_paths",
+    "tor_path",
+]

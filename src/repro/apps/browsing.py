@@ -1,0 +1,225 @@
+"""WiNoN anonymous browsing: the four Figure 10/11 configurations.
+
+The paper evaluates page downloads under: (1) no anonymity, (2) Tor alone,
+(3) a local-area Dissent group, and (4) Dissent composed with Tor ("best
+of both worlds": local traffic-analysis resistance + wide-area anonymity).
+WiNoN itself is the VM architecture that forces all application traffic
+through the Dissent tunnel; :class:`WiNoNEnvironment` models that
+isolation boundary, and the path models below reproduce the data path each
+configuration imposes.
+
+A page fetch is modeled the way the paper's automated browser behaved:
+fetch the index, then fetch dependent assets with bounded concurrency.
+Per-page time = (request batches) x (per-request latency) + (page bytes) /
+(path throughput).  The Dissent path's round time and slot throughput are
+derived from the round simulator on the paper's Emulab WiFi topology
+(5 servers, 24 clients, 24 Mbps / 10 ms), not hand-picked.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from repro.apps.torsim import TorCircuitModel
+from repro.apps.webmodel import PageProfile
+from repro.errors import ProtocolError
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+from repro.sim.network import emulab_wifi_topology
+from repro.sim.roundsim import RoundSimConfig, Workload, simulate_round
+
+#: The WiNoN testbed ran one client per idle LAN machine; the wide-area
+#: prototype's 300 ms per-round turnaround (event loop + serialization
+#: under testbed multiplexing) shrinks to tens of milliseconds there.
+_LAN_COST_MODEL = replace(
+    DEFAULT_COST_MODEL,
+    turnaround_base_seconds=0.05,
+    turnaround_per_process_seconds=0.0,
+)
+
+#: Browser fetch concurrency (2012-era browsers: ~6 per host, several hosts).
+DEFAULT_PARALLELISM = 8
+
+
+@dataclass(frozen=True)
+class PathModel:
+    """One network configuration's request latency and throughput."""
+
+    name: str
+    request_latency_s: float
+    throughput_bytes_per_sec: float
+
+    def page_time(self, page: PageProfile, parallelism: int = DEFAULT_PARALLELISM) -> float:
+        """Seconds to download one page through this path."""
+        batches = 1 + math.ceil(len(page.asset_bytes) / parallelism)
+        latency_cost = batches * self.request_latency_s
+        transfer_cost = page.total_bytes / self.throughput_bytes_per_sec
+        return latency_cost + transfer_cost
+
+
+def direct_path(
+    request_latency_s: float = 0.9,
+    throughput_bytes_per_sec: float = 350e3,
+) -> PathModel:
+    """No anonymization: the Emulab gateway straight to the public web.
+
+    Defaults reflect 2012 page-fetch behaviour (DNS + TCP + server time
+    per request batch; broadband-limited transfer), consistent with the
+    paper's ~10 s average per 1 MB of content.
+    """
+    return PathModel("direct", request_latency_s, throughput_bytes_per_sec)
+
+
+def tor_path(
+    circuit: TorCircuitModel | None = None,
+    base: PathModel | None = None,
+) -> PathModel:
+    """Tor alone: circuit RTT on every request, relay-capped throughput."""
+    circuit = circuit or TorCircuitModel()
+    base = base or direct_path()
+    return PathModel(
+        "tor",
+        base.request_latency_s + circuit.request_latency(),
+        min(base.throughput_bytes_per_sec, circuit.throughput_bytes_per_sec),
+    )
+
+
+@dataclass(frozen=True)
+class DissentLanModel:
+    """The §5.4 local deployment: 5 servers + 24 clients on 24 Mbps WiFi."""
+
+    num_clients: int = 24
+    num_servers: int = 5
+    slot_payload: int = 16 * 1024
+    #: Tunnel protocol expansion: padding overhead, framing, slot
+    #: grow/shrink transients, and occasional retransmits inflate the
+    #: bytes a payload costs through the DC-net.
+    tunnel_overhead: float = 1.6
+    seed: int = 0
+
+    def round_time(self) -> float:
+        """One DC-net round on the Emulab WiFi topology (simulated)."""
+        config = RoundSimConfig(
+            num_clients=self.num_clients,
+            num_servers=self.num_servers,
+            workload=Workload("tunnel", (self.slot_payload,)),
+            topology=emulab_wifi_topology(),
+            cost=_LAN_COST_MODEL,
+            shared_server_medium=True,
+        )
+        return simulate_round(config, random.Random(self.seed)).total
+
+    def throughput_bytes_per_sec(self) -> float:
+        """Sustained one-slot tunnel throughput: slot bytes per round,
+        discounted by the tunnel protocol overhead."""
+        return self.slot_payload / self.round_time() / self.tunnel_overhead
+
+
+def dissent_path(
+    lan: DissentLanModel | None = None,
+    base: PathModel | None = None,
+) -> PathModel:
+    """Local-area Dissent: every request/response rides DC-net rounds.
+
+    A request costs one round up (to the exit) and one round down, plus
+    the exit's ordinary fetch from the public web.
+    """
+    lan = lan or DissentLanModel()
+    base = base or direct_path()
+    round_time = lan.round_time()
+    return PathModel(
+        "dissent",
+        base.request_latency_s + 2.0 * round_time,
+        min(base.throughput_bytes_per_sec, lan.throughput_bytes_per_sec()),
+    )
+
+
+def dissent_tor_path(
+    lan: DissentLanModel | None = None,
+    circuit: TorCircuitModel | None = None,
+    base: PathModel | None = None,
+) -> PathModel:
+    """Serial composition: WiFi Dissent group, then Tor to the web (§5.4)."""
+    lan = lan or DissentLanModel()
+    circuit = circuit or TorCircuitModel()
+    base = base or direct_path()
+    round_time = lan.round_time()
+    return PathModel(
+        "dissent+tor",
+        base.request_latency_s + 2.0 * round_time + circuit.request_latency(),
+        min(
+            base.throughput_bytes_per_sec,
+            lan.throughput_bytes_per_sec(),
+            circuit.throughput_bytes_per_sec,
+        ),
+    )
+
+
+def standard_paths() -> list[PathModel]:
+    """The four Figure 10/11 configurations, in the paper's order."""
+    lan = DissentLanModel()
+    return [
+        direct_path(),
+        tor_path(),
+        dissent_path(lan),
+        dissent_tor_path(lan),
+    ]
+
+
+def browse_corpus(
+    pages: list[PageProfile],
+    path: PathModel,
+    parallelism: int = DEFAULT_PARALLELISM,
+) -> list[float]:
+    """Download times for every page in the corpus (Figure 10 series)."""
+    return [path.page_time(page, parallelism) for page in pages]
+
+
+def seconds_per_megabyte(pages: list[PageProfile], times: list[float]) -> float:
+    """The paper's headline metric: mean seconds per MB of content."""
+    total_bytes = sum(page.total_bytes for page in pages)
+    return sum(times) / (total_bytes / 1e6)
+
+
+# ---------------------------------------------------------------------------
+# WiNoN isolation boundary (§4.3)
+# ---------------------------------------------------------------------------
+
+
+class IsolationViolation(ProtocolError):
+    """An application inside the WiNoN VM tried to bypass the tunnel."""
+
+
+class WiNoNEnvironment:
+    """Models the WiNoN VM: apps reach the network only through Dissent.
+
+    The VM "has no access to non-anonymous user state, and network access
+    only via Dissent's anonymizing protocols".  The model enforces exactly
+    that: :meth:`fetch` routes through the anonymous path; direct socket
+    access and host-state reads raise :class:`IsolationViolation`.
+    """
+
+    def __init__(self, anonymous_path: PathModel) -> None:
+        self._path = anonymous_path
+        self._host_state = {"user_identity": "REDACTED", "cookies": "REDACTED"}
+        self.fetch_log: list[tuple[str, float]] = []
+
+    def fetch(self, page: PageProfile, parallelism: int = DEFAULT_PARALLELISM) -> float:
+        """Fetch a page through the tunnel; returns modeled seconds."""
+        elapsed = self._path.page_time(page, parallelism)
+        self.fetch_log.append((page.name, elapsed))
+        return elapsed
+
+    def open_direct_socket(self, destination: str) -> None:
+        """Any direct network access is denied by the VM boundary."""
+        raise IsolationViolation(
+            f"direct connection to {destination!r} blocked: the WiNoN VM has "
+            "no network interface outside the Dissent tunnel"
+        )
+
+    def read_host_state(self, key: str) -> None:
+        """Host identity/cookies are invisible inside the VM."""
+        raise IsolationViolation(
+            f"host state {key!r} is not mapped into the anonymous VM"
+        )

@@ -1,0 +1,36 @@
+"""A circuit-level Tor model (the paper's §5.4 comparison curve).
+
+The paper stresses this "is by no means an apples-to-apples comparison" —
+Tor appears only as "a general reference point for gauging Dissent's
+usability".  We model the 2012 public Tor network at the same altitude: a
+three-hop circuit adds per-request round-trip latency, and the circuit's
+effective throughput is capped by its slowest relay.  Constants follow Tor
+Metrics measurements of the period (time-to-first-byte well over a second;
+sustained throughput on the order of 100 KB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TorCircuitModel:
+    """Latency/throughput of one three-hop circuit."""
+
+    #: One-way latency per hop (client→guard→middle→exit→destination).
+    hop_latency_s: float = 0.250
+    #: Number of relay hops.
+    hops: int = 3
+    #: Destination server think-time per request (shared with every path).
+    server_time_s: float = 0.20
+    #: Sustained circuit throughput (slowest-relay bottleneck).
+    throughput_bytes_per_sec: float = 55e3
+
+    def request_latency(self) -> float:
+        """Request/response RTT overhead through the circuit."""
+        one_way = self.hops * self.hop_latency_s
+        return 2.0 * one_way + self.server_time_s
+
+    def transfer_time(self, nbytes: int) -> float:
+        return nbytes / self.throughput_bytes_per_sec

@@ -1,0 +1,86 @@
+"""Synthetic Alexa-Top-100-style page profiles (paper §5.4 workload).
+
+The paper's browsing evaluation fetched the index pages of the Alexa
+"Top 100" sites, recursively downloading each page's dependent assets.
+Those pages are long gone, so we generate seeded synthetic profiles whose
+aggregate statistics match 2012-era web measurements (HTTP Archive,
+mid-2012): mean page weight around 1 MB with a heavy right tail, a median
+around 400 KB, and tens of sub-resources per page.
+
+The same 100 profiles (fixed seed) feed every browsing configuration, so
+Figure 10/11 comparisons are paired, exactly like the paper's design.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PageProfile:
+    """One synthetic page: an index document plus dependent assets."""
+
+    name: str
+    index_bytes: int
+    asset_bytes: tuple[int, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.index_bytes + sum(self.asset_bytes)
+
+    @property
+    def num_requests(self) -> int:
+        """Index fetch plus one request per asset."""
+        return 1 + len(self.asset_bytes)
+
+
+def generate_top100(seed: int = 2012) -> list[PageProfile]:
+    """The standard corpus: 100 seeded pseudo-Alexa pages."""
+    return generate_pages(100, seed)
+
+
+def generate_pages(count: int, seed: int = 2012) -> list[PageProfile]:
+    """Generate ``count`` page profiles with 2012-web statistics.
+
+    Distributions:
+
+    * index document: lognormal, median ≈ 35 KB;
+    * asset count: lognormal, median ≈ 22, capped at 200 (heavy tail —
+      portal pages with hundreds of objects);
+    * asset size: lognormal, median ≈ 7.5 KB (images dominate the tail).
+
+    The tails make the corpus mean ≈ 1 MB while the median page stays
+    a few hundred KB, matching the paper's mean-vs-CDF behaviour.
+    """
+    rng = random.Random(seed)
+    pages: list[PageProfile] = []
+    for i in range(count):
+        index_bytes = int(rng.lognormvariate(math.log(30_000), 0.7))
+        num_assets = min(200, max(3, int(rng.lognormvariate(math.log(17), 1.0))))
+        assets = tuple(
+            int(rng.lognormvariate(math.log(8_000), 1.45)) for _ in range(num_assets)
+        )
+        pages.append(
+            PageProfile(
+                name=f"site-{i:03d}.example",
+                index_bytes=index_bytes,
+                asset_bytes=assets,
+            )
+        )
+    return pages
+
+
+def corpus_stats(pages: list[PageProfile]) -> dict[str, float]:
+    """Summary statistics used by the benches' report headers."""
+    totals = sorted(page.total_bytes for page in pages)
+    requests = [page.num_requests for page in pages]
+    n = len(pages)
+    return {
+        "pages": float(n),
+        "mean_bytes": sum(totals) / n,
+        "median_bytes": float(totals[n // 2]),
+        "mean_requests": sum(requests) / n,
+        "total_mb": sum(totals) / 1e6,
+    }

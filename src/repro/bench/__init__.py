@@ -1,0 +1,22 @@
+"""Experiment harness: one module per paper figure, plus ablations.
+
+Each module's ``run()`` returns a :class:`~repro.bench.harness.FigureResult`
+that renders the same rows/series the paper reports; the ``benchmarks/``
+directory wraps these in pytest-benchmark entry points, and EXPERIMENTS.md
+records paper-vs-measured values.
+"""
+
+from repro.bench.harness import FigureResult, fmt_seconds
+from repro.bench import ablations, fig6, fig7, fig8, fig9, fig10, fig11
+
+__all__ = [
+    "FigureResult",
+    "fmt_seconds",
+    "ablations",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+]

@@ -1,0 +1,65 @@
+"""Figure 10: Alexa Top-100 download times across the four configurations.
+
+Paper (§5.4): an automated browser fetched each Top-100 index page plus
+its dependent assets over (1) no anonymity, (2) Tor, (3) local-area
+Dissent (5 servers + 24 clients on a 24 Mbps / 10 ms Emulab WiFi network),
+and (4) Dissent composed with Tor.  Reported: ~10 s per 1 MB of content
+with no anonymization, ~40 s through Tor, ~45 s through Dissent, ~55 s
+through Dissent+Tor (a ~35% slowdown over Tor alone).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.apps.browsing import browse_corpus, seconds_per_megabyte, standard_paths
+from repro.apps.webmodel import corpus_stats, generate_top100
+from repro.bench.harness import FigureResult
+
+#: The paper's headline seconds-per-MB for each configuration.
+PAPER_SECONDS_PER_MB = {
+    "direct": 10.0,
+    "tor": 40.0,
+    "dissent": 45.0,
+    "dissent+tor": 55.0,
+}
+
+
+def run(seed: int = 2012) -> FigureResult:
+    """Fetch the (synthetic) Top-100 corpus through all four paths."""
+    pages = generate_top100(seed)
+    stats = corpus_stats(pages)
+    paths = standard_paths()
+
+    result = FigureResult(
+        figure="Figure 10",
+        title="page download times by configuration",
+        x_label="metric",
+        x_values=["mean_s", "median_s", "p90_s", "s_per_MB"],
+    )
+    for path in paths:
+        times = browse_corpus(pages, path)
+        ordered = sorted(times)
+        result.add_series(
+            path.name,
+            [
+                statistics.mean(times),
+                statistics.median(times),
+                ordered[int(0.9 * len(ordered))],
+                seconds_per_megabyte(pages, times),
+            ],
+        )
+    result.add_note(
+        f"corpus: {stats['pages']:.0f} pages, mean "
+        f"{stats['mean_bytes'] / 1e3:.0f}KB, {stats['mean_requests']:.0f} "
+        "requests/page (synthetic 2012-web profiles)"
+    )
+    for name, paper_value in PAPER_SECONDS_PER_MB.items():
+        measured = result.series[name][3]
+        result.add_note(f"s/MB {name}: {measured:.1f} (paper: ~{paper_value:.0f})")
+    tor_spm = result.series["tor"][3]
+    both_spm = result.series["dissent+tor"][3]
+    result.add_note(
+        f"dissent+tor slowdown over tor: {(both_spm / tor_spm - 1):.0%} (paper: ~35%)"
+    )
+    return result

@@ -1,0 +1,45 @@
+"""Figure 11: CDF of the Figure 10 page download times.
+
+Paper (§5.4): "a client using Tor downloads the first 50% of Web pages in
+15 seconds, while a client using Dissent+Tor downloads 50% of Web pages in
+just under 20 seconds" — a few extra seconds per page for local-area
+traffic-analysis resistance.
+"""
+
+from __future__ import annotations
+
+from repro.apps.browsing import browse_corpus, standard_paths
+from repro.apps.webmodel import generate_top100
+from repro.bench.harness import FigureResult
+
+CDF_POINTS = (0.10, 0.25, 0.50, 0.75, 0.90)
+
+
+def run(seed: int = 2012) -> FigureResult:
+    """Quantiles of per-page download time for all four configurations."""
+    pages = generate_top100(seed)
+    result = FigureResult(
+        figure="Figure 11",
+        title="download-time CDF by configuration (seconds)",
+        x_label="cdf",
+        x_values=[f"{p:.0%}" for p in CDF_POINTS],
+    )
+    medians: dict[str, float] = {}
+    for path in standard_paths():
+        times = sorted(browse_corpus(pages, path))
+        quantiles = [
+            times[min(len(times) - 1, int(p * len(times)))] for p in CDF_POINTS
+        ]
+        result.add_series(path.name, quantiles)
+        medians[path.name] = quantiles[CDF_POINTS.index(0.50)]
+
+    result.add_note(
+        f"tor median: {medians['tor']:.1f}s (paper: ~15s); dissent+tor median: "
+        f"{medians['dissent+tor']:.1f}s (paper: just under 20s)"
+    )
+    result.add_note(
+        f"median gap dissent+tor - tor: "
+        f"{medians['dissent+tor'] - medians['tor']:.1f}s "
+        "(paper: a few extra seconds per page)"
+    )
+    return result

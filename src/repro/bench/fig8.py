@@ -1,0 +1,78 @@
+"""Figure 8: time per round versus number of servers (640 clients).
+
+Paper (§5.2): a static 640-client group with the server count swept over
+1, 2, 4, 10, 24, 32, both workloads, on DeterLab.  Reported shape: "time
+increases on server-related aspects of the protocol but reduced time on
+client-related aspects" — more servers shrink each shared client uplink's
+population (client submission falls) while inflating the all-to-all
+server exchange (server processing grows, steeply for 128 KB rounds on
+the shared server LAN).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import FigureResult
+from repro.sim.churn import LanJitterModel
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+from repro.sim.network import deterlab_topology
+from repro.sim.roundsim import (
+    RoundSimConfig,
+    Workload,
+    mean_timing,
+    simulate_rounds,
+)
+
+SERVER_COUNTS = (1, 2, 4, 10, 24, 32)
+NUM_CLIENTS = 640
+
+
+def run(
+    server_counts: tuple[int, ...] = SERVER_COUNTS,
+    rounds_per_point: int = 10,
+    seed: int = 8,
+) -> FigureResult:
+    """Sweep server count for both workloads (the four paper series)."""
+    result = FigureResult(
+        figure="Figure 8",
+        title=f"time per round (s) vs servers, {NUM_CLIENTS} clients",
+        x_label="servers",
+        x_values=list(server_counts),
+    )
+    series: dict[str, list[float]] = {
+        "128K-server": [],
+        "128K-client": [],
+        "1%-server": [],
+        "1%-client": [],
+    }
+    for m in server_counts:
+        for workload, tag in (
+            (Workload.data_sharing(), "128K"),
+            (Workload.microblog(NUM_CLIENTS), "1%"),
+        ):
+            config = RoundSimConfig(
+                num_clients=NUM_CLIENTS,
+                num_servers=m,
+                workload=workload,
+                topology=deterlab_topology(),
+                cost=DEFAULT_COST_MODEL,
+                jitter=LanJitterModel(),
+                client_machines=max(m * 10, 1),
+            )
+            t = mean_timing(simulate_rounds(config, rounds_per_point, seed))
+            series[f"{tag}-server"].append(t.server_processing)
+            series[f"{tag}-client"].append(t.client_submission)
+
+    for name, values in series.items():
+        result.add_series(name, values)
+
+    first, last = series["128K-client"][0], series["128K-client"][-1]
+    result.add_note(
+        f"client submission (128K) falls {first:.2f}s -> {last:.2f}s as servers "
+        "are added (paper: client-related time drops)"
+    )
+    result.add_note(
+        "server processing rises with server count "
+        f"(128K: {series['128K-server'][0]:.2f}s -> {series['128K-server'][-1]:.2f}s; "
+        "paper: server-related time grows)"
+    )
+    return result

@@ -1,0 +1,170 @@
+"""Adversarial node implementations for testing and the accusation demo.
+
+The accusation mechanism only earns its keep against real misbehaviour, so
+the test suite runs these byzantine variants inside otherwise-honest
+sessions and asserts that tracing convicts exactly the guilty party:
+
+* :class:`DisruptorClient` — XORs extra bits into a victim's slot
+  (the classic anonymous jamming attack DC-nets are vulnerable to).
+* :class:`RequestJammerClient` — sets a victim's request bit to cancel
+  slot-open requests (§3.8's attack).
+* :class:`DisruptingServer` — flips bits of its server ciphertext after
+  committing (caught by trace case (b)).
+* :class:`EquivocatingServer` — lies about a client's pair-stream bit
+  during tracing (exposed by the client's DLEQ rebuttal).
+* :class:`WithholdingServer` — refuses to produce the signed client
+  evidence it owes during tracing (caught by trace case (a)).
+"""
+
+from __future__ import annotations
+
+from repro.core.accusation import TraceDisclosure
+from repro.core.client import DissentClient
+from repro.core.server import DissentServer
+from repro.errors import ProtocolError
+from repro.net.message import CLIENT_CIPHERTEXT, SignedEnvelope, make_envelope
+from repro.util.bytesops import flip_bit
+
+
+class DisruptorClient(DissentClient):
+    """A client that jams another slot by flipping ciphertext bits.
+
+    Flipping bit k of its own *ciphertext* flips bit k of the round output
+    (XOR is linear), corrupting whoever owns that position — anonymously,
+    until the accusation process runs.
+
+    Attributes:
+        target_slot: slot index to disrupt; None disables disruption.
+        flips_per_round: how many bits to flip inside the target slot.
+    """
+
+    def __init__(self, *args, target_slot: int | None = None, flips_per_round: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.target_slot = target_slot
+        self.flips_per_round = flips_per_round
+        self.flipped_bits: dict[int, list[int]] = {}
+
+    def produce_ciphertext(self, round_number: int) -> SignedEnvelope:
+        envelope = super().produce_ciphertext(round_number)
+        layout = self.scheduler.current_layout()
+        if self.target_slot is None or not layout.is_open(self.target_slot):
+            return envelope
+        start, end = layout.slot_bit_range(self.target_slot)
+        body = envelope.body
+        flipped: list[int] = []
+        for n in range(self.flips_per_round):
+            bit = self.rng.randrange(start, end)
+            body = flip_bit(body, bit)
+            flipped.append(bit)
+        self.flipped_bits[round_number] = flipped
+        # Re-sign: the disruptor is a legitimate member, so its tampered
+        # ciphertext still carries a valid signature.
+        return make_envelope(
+            self.key,
+            CLIENT_CIPHERTEXT,
+            self.name,
+            self.group_id,
+            round_number,
+            body,
+        )
+
+
+class RequestJammerClient(DissentClient):
+    """A client that XORs a 1 into a victim's request bit (§3.8 attack)."""
+
+    def __init__(self, *args, victim_slot: int | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.victim_slot = victim_slot
+
+    def produce_ciphertext(self, round_number: int) -> SignedEnvelope:
+        envelope = super().produce_ciphertext(round_number)
+        layout = self.scheduler.current_layout()
+        if self.victim_slot is None or layout.is_open(self.victim_slot):
+            return envelope
+        body = flip_bit(envelope.body, layout.request_bit_index(self.victim_slot))
+        return make_envelope(
+            self.key,
+            CLIENT_CIPHERTEXT,
+            self.name,
+            self.group_id,
+            round_number,
+            body,
+        )
+
+
+class DisruptingServer(DissentServer):
+    """A server that corrupts the round by tampering with its own s_j.
+
+    It commits to the tampered ciphertext (so commitment verification
+    passes) but its disclosed trace bits cannot explain the flipped
+    position — trace case (b) convicts it.
+    """
+
+    def __init__(self, *args, target_slot: int | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.target_slot = target_slot
+        self.flipped_bits: dict[int, int] = {}
+
+    def compute_ciphertext(self) -> SignedEnvelope:
+        state = self.state
+        layout = state.layout
+        envelope = super().compute_ciphertext()
+        if self.target_slot is None or not layout.is_open(self.target_slot):
+            return envelope
+        start, end = layout.slot_bit_range(self.target_slot)
+        bit = self.rng.randrange(start, end)
+        state.own_ciphertext = flip_bit(state.own_ciphertext, bit)
+        self.flipped_bits[state.round_number] = bit
+        from repro.crypto.hashing import commit as hash_commit
+        from repro.net.message import SERVER_COMMIT
+
+        return make_envelope(
+            self.key,
+            SERVER_COMMIT,
+            self.name,
+            self.group_id,
+            state.round_number,
+            hash_commit(state.own_ciphertext),
+        )
+
+
+class EquivocatingServer(DissentServer):
+    """A server that lies about one client's pair bit during tracing.
+
+    Framing an honest client this way fails: the client's rebuttal reveals
+    the true DH secret with a proof, convicting this server instead.
+    """
+
+    def __init__(self, *args, frame_client: int | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.frame_client = frame_client
+
+    def trace_disclosure(self, round_number: int, bit_index: int) -> TraceDisclosure:
+        disclosure = super().trace_disclosure(round_number, bit_index)
+        if self.frame_client is None or self.frame_client not in disclosure.pair_bits:
+            return disclosure
+        lied = dict(disclosure.pair_bits)
+        lied[self.frame_client] ^= 1
+        return TraceDisclosure(
+            server_index=disclosure.server_index,
+            client_envelopes=disclosure.client_envelopes,
+            pair_bits=lied,
+        )
+
+
+class WithholdingServer(DissentServer):
+    """A server that withholds client evidence during tracing (case (a))."""
+
+    def __init__(self, *args, withhold: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.withhold = withhold
+
+    def trace_disclosure(self, round_number: int, bit_index: int) -> TraceDisclosure:
+        disclosure = super().trace_disclosure(round_number, bit_index)
+        if not self.withhold:
+            return disclosure
+        return TraceDisclosure(
+            server_index=disclosure.server_index,
+            client_envelopes={},
+            pair_bits=disclosure.pair_bits,
+        )

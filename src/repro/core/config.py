@@ -1,0 +1,228 @@
+"""Group definitions and protocol policy (paper §3.2, §3.7).
+
+A Dissent group is defined by a static file listing one public key per
+server and one per client, plus the policy constants the protocol needs
+(the participation fraction alpha, window-closure parameters, slot sizing,
+and the accusation shuffle-request width k).  The SHA-256 hash of the
+canonical encoding is the group's **self-certifying identifier**: any two
+nodes holding the same identifier necessarily agree on the member list and
+policy, with no PKI or consensus protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.crypto.groups import (
+    SchnorrGroup,
+    medium_group,
+    production_group,
+    testing_group,
+    tiny_group,
+    wide_group,
+)
+from repro.crypto.hashing import group_definition_id
+from repro.crypto.keys import PublicKey
+from repro.errors import ConfigError
+from repro.util.serialization import canonical_json
+
+_GROUP_NAMES = {
+    "production-2048": production_group,
+    "wide-1536": wide_group,
+    "test-256": testing_group,
+    "test-512": medium_group,
+    "tiny-64": tiny_group,
+}
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Tunable protocol constants, fixed at group creation time.
+
+    Attributes:
+        alpha: participation floor (§3.7).  Round r+1 will not complete
+            until at least ``alpha * participation(r)`` clients submit.
+        initial_slot_payload: payload capacity (bytes) a message slot gets
+            when it first opens.
+        max_slot_payload: upper clamp on requested slot lengths, bounding
+            the damage of a corrupted length field.
+        shuffle_request_bits: width k of the per-slot shuffle-request field;
+            a disruptor squashes an accusation request with probability
+            ``2**-k`` per round (§3.9).
+        idle_close_rounds: close an open slot after this many consecutive
+            all-zero (silent) rounds, reclaiming bandwidth from departed
+            owners.
+        window_fraction / window_multiplier: default window-closure policy —
+            once ``window_fraction`` of clients submit at elapsed time t,
+            close the window at ``t * window_multiplier`` (§5.1, the 1.1x
+            policy chosen in the paper).
+        hard_deadline: seconds after which a round closes regardless (120 s
+            in the paper's trace experiment).
+        shuffle_soundness_bits: cut-and-choose soundness for the verifiable
+            shuffle.
+        archive_rounds: how many past rounds servers retain for accusation
+            tracing.
+    """
+
+    alpha: float = 0.9
+    initial_slot_payload: int = 128
+    max_slot_payload: int = 1 << 20
+    shuffle_request_bits: int = 8
+    idle_close_rounds: int = 4
+    window_fraction: float = 0.95
+    window_multiplier: float = 1.1
+    hard_deadline: float = 120.0
+    shuffle_soundness_bits: int = 16
+    archive_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.initial_slot_payload < 1:
+            raise ConfigError("initial_slot_payload must be positive")
+        if self.max_slot_payload < self.initial_slot_payload:
+            raise ConfigError("max_slot_payload must be >= initial_slot_payload")
+        if not 1 <= self.shuffle_request_bits <= 8:
+            raise ConfigError("shuffle_request_bits must be in [1, 8]")
+        if self.idle_close_rounds < 1:
+            raise ConfigError("idle_close_rounds must be positive")
+        if not 0.0 < self.window_fraction <= 1.0:
+            raise ConfigError("window_fraction must be in (0, 1]")
+        if self.window_multiplier < 1.0:
+            raise ConfigError("window_multiplier must be >= 1")
+        if self.hard_deadline <= 0:
+            raise ConfigError("hard_deadline must be positive")
+        if self.shuffle_soundness_bits < 1:
+            raise ConfigError("shuffle_soundness_bits must be positive")
+        if self.archive_rounds < 1:
+            raise ConfigError("archive_rounds must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "initial_slot_payload": self.initial_slot_payload,
+            "max_slot_payload": self.max_slot_payload,
+            "shuffle_request_bits": self.shuffle_request_bits,
+            "idle_close_rounds": self.idle_close_rounds,
+            "window_fraction": self.window_fraction,
+            "window_multiplier": self.window_multiplier,
+            "hard_deadline": self.hard_deadline,
+            "shuffle_soundness_bits": self.shuffle_soundness_bits,
+            "archive_rounds": self.archive_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Policy":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class GroupDefinition:
+    """The static membership and policy record every node holds.
+
+    Server and client identities within the protocol are their indices
+    into these lists; display names are derived (``server-3``,
+    ``client-17``) for logs and message routing.
+    """
+
+    group_name: str
+    server_keys: tuple[PublicKey, ...]
+    client_keys: tuple[PublicKey, ...]
+    policy: Policy = field(default_factory=Policy)
+
+    def __post_init__(self) -> None:
+        if self.group_name not in _GROUP_NAMES:
+            raise ConfigError(
+                f"unknown group {self.group_name!r}; "
+                f"choose one of {sorted(_GROUP_NAMES)}"
+            )
+        if not self.server_keys:
+            raise ConfigError("a group needs at least one server")
+        if not self.client_keys:
+            raise ConfigError("a group needs at least one client")
+        group = self.group
+        for key in (*self.server_keys, *self.client_keys):
+            if key.group != group:
+                raise ConfigError("all member keys must use the group's algebra")
+        seen: set[int] = set()
+        for key in (*self.server_keys, *self.client_keys):
+            if key.y in seen:
+                raise ConfigError("duplicate public key in group definition")
+            seen.add(key.y)
+
+    @property
+    def group(self) -> SchnorrGroup:
+        return _GROUP_NAMES[self.group_name]()
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.server_keys)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_keys)
+
+    def server_name(self, index: int) -> str:
+        if not 0 <= index < self.num_servers:
+            raise ConfigError(f"server index {index} out of range")
+        return f"server-{index}"
+
+    def client_name(self, index: int) -> str:
+        if not 0 <= index < self.num_clients:
+            raise ConfigError(f"client index {index} out of range")
+        return f"client-{index}"
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic encoding whose hash is the group identifier."""
+        return canonical_json(
+            {
+                "version": 1,
+                "group": self.group_name,
+                "servers": [key.to_bytes().hex() for key in self.server_keys],
+                "clients": [key.to_bytes().hex() for key in self.client_keys],
+                "policy": self.policy.to_dict(),
+            }
+        )
+
+    def group_id(self) -> bytes:
+        """Self-certifying identifier: hash of the canonical definition."""
+        return group_definition_id(self.canonical_bytes())
+
+    @classmethod
+    def from_canonical_bytes(cls, data: bytes) -> "GroupDefinition":
+        """Parse a definition file, validating every key."""
+        import json
+
+        try:
+            obj = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unparseable group definition: {exc}") from exc
+        if obj.get("version") != 1:
+            raise ConfigError("unsupported group definition version")
+        group_name = obj["group"]
+        if group_name not in _GROUP_NAMES:
+            raise ConfigError(f"unknown group {group_name!r}")
+        group = _GROUP_NAMES[group_name]()
+        servers = tuple(
+            PublicKey.from_bytes(group, bytes.fromhex(h)) for h in obj["servers"]
+        )
+        clients = tuple(
+            PublicKey.from_bytes(group, bytes.fromhex(h)) for h in obj["clients"]
+        )
+        return cls(group_name, servers, clients, Policy.from_dict(obj["policy"]))
+
+
+def make_group_definition(
+    group_name: str,
+    server_keys: Sequence[PublicKey],
+    client_keys: Sequence[PublicKey],
+    policy: Policy | None = None,
+) -> GroupDefinition:
+    """Convenience constructor mirroring the paper's group-creation flow."""
+    return GroupDefinition(
+        group_name,
+        tuple(server_keys),
+        tuple(client_keys),
+        policy or Policy(),
+    )

@@ -1,0 +1,159 @@
+"""Scheduling via the verifiable key shuffle (paper §3.10).
+
+Before DC-net rounds begin, every client submits a fresh pseudonym public
+key, onion-encrypted under ephemeral per-session shuffle keys that each
+server publishes (signed by its long-term identity key).  The mix cascade
+permutes and strips layers server by server; the resulting ordered list of
+bare pseudonym keys *is* the slot schedule: slot s belongs to whoever holds
+the private half of output key s, and nobody — client or server — knows the
+permutation as long as one server is honest.
+
+The same machinery runs **accusation shuffles**: width-W vectors carrying
+embedded accusation messages (or empty cover messages from everyone else).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.config import GroupDefinition
+from repro.crypto import shuffle
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.schnorr import Signature, sign as schnorr_sign, verify as schnorr_verify
+from repro.crypto.shuffle import CipherVector, ShuffleTranscript
+from repro.errors import ShuffleError
+from repro.util.serialization import pack_fields
+
+
+@dataclass(frozen=True)
+class ShuffleSessionKey:
+    """A server's ephemeral mix key, signed by its long-term identity."""
+
+    server_index: int
+    public: PublicKey
+    signature: Signature
+
+    def signed_payload(self, purpose: bytes) -> bytes:
+        return pack_fields(
+            "dissent.shuffle-key.v1", self.server_index, purpose, self.public.to_bytes()
+        )
+
+
+def make_session_key(
+    identity: PrivateKey,
+    server_index: int,
+    purpose: bytes,
+    rng: random.Random | None = None,
+) -> tuple[PrivateKey, ShuffleSessionKey]:
+    """Generate and sign a fresh per-session shuffle key pair."""
+    ephemeral = PrivateKey.generate(identity.group, rng)
+    payload = pack_fields(
+        "dissent.shuffle-key.v1", server_index, purpose, ephemeral.public.to_bytes()
+    )
+    return ephemeral, ShuffleSessionKey(
+        server_index=server_index,
+        public=ephemeral.public,
+        signature=schnorr_sign(identity, payload),
+    )
+
+
+def verify_session_keys(
+    definition: GroupDefinition,
+    session_keys: Sequence[ShuffleSessionKey],
+    purpose: bytes,
+) -> list[PublicKey]:
+    """Validate every server's signed ephemeral key; returns them in order."""
+    if len(session_keys) != definition.num_servers:
+        raise ShuffleError("need exactly one shuffle key per server")
+    publics: list[PublicKey] = []
+    for j, session_key in enumerate(session_keys):
+        if session_key.server_index != j:
+            raise ShuffleError("shuffle keys out of server order")
+        if not schnorr_verify(
+            definition.server_keys[j],
+            session_key.signed_payload(purpose),
+            session_key.signature,
+        ):
+            raise ShuffleError(f"server {j} shuffle key signature invalid")
+        publics.append(session_key.public)
+    return publics
+
+
+@dataclass(frozen=True)
+class KeyShuffleResult:
+    """Outcome of the scheduling shuffle."""
+
+    slot_elements: tuple[int, ...]
+    transcript: ShuffleTranscript
+
+
+def run_key_shuffle(
+    definition: GroupDefinition,
+    shuffle_privates: Sequence[PrivateKey],
+    submissions: Sequence[CipherVector],
+    context: bytes = b"key-shuffle",
+    rng: random.Random | None = None,
+) -> KeyShuffleResult:
+    """Drive the cascade over pseudonym-key submissions and verify it.
+
+    Every server is expected to verify the transcript independently before
+    accepting the schedule; this driver performs that verification once and
+    raises if any step fails, mirroring an honest server's behaviour.
+    """
+    if len(submissions) == 0:
+        raise ShuffleError("key shuffle needs at least one submission")
+    transcript = shuffle.run_cascade(
+        list(shuffle_privates),
+        list(submissions),
+        soundness_bits=definition.policy.shuffle_soundness_bits,
+        context=context,
+        rng=rng,
+    )
+    publics = [key.public for key in shuffle_privates]
+    if not shuffle.verify_transcript(publics, transcript, context=context):
+        raise ShuffleError("key shuffle transcript failed verification")
+    elements = transcript.outputs(definition.group)
+    return KeyShuffleResult(slot_elements=tuple(elements), transcript=transcript)
+
+
+@dataclass(frozen=True)
+class MessageShuffleResult:
+    """Outcome of a general message shuffle (accusations etc.)."""
+
+    messages: tuple[bytes, ...]
+    transcript: ShuffleTranscript
+
+
+def run_message_shuffle(
+    definition: GroupDefinition,
+    shuffle_privates: Sequence[PrivateKey],
+    submissions: Sequence[CipherVector],
+    context: bytes = b"message-shuffle",
+    rng: random.Random | None = None,
+) -> MessageShuffleResult:
+    """Drive the cascade over embedded-message vectors and decode outputs.
+
+    Undecodable outputs (a malformed submission) come back as empty
+    messages rather than aborting the whole shuffle — one bad client must
+    not suppress everyone else's accusations.
+    """
+    transcript = shuffle.run_cascade(
+        list(shuffle_privates),
+        list(submissions),
+        soundness_bits=definition.policy.shuffle_soundness_bits,
+        context=context,
+        rng=rng,
+    )
+    publics = [key.public for key in shuffle_privates]
+    if not shuffle.verify_transcript(publics, transcript, context=context):
+        raise ShuffleError("message shuffle transcript failed verification")
+    group = definition.group
+    messages: list[bytes] = []
+    for vector in transcript.output_vectors(group):
+        try:
+            messages.append(shuffle.decode_message_output(group, vector))
+        except Exception:
+            messages.append(b"")
+    return MessageShuffleResult(messages=tuple(messages), transcript=transcript)

@@ -1,0 +1,285 @@
+"""Slot scheduling: the function S(r, pi(i), H) of Algorithm 1.
+
+After the key shuffle fixes a secret permutation of clients onto slots,
+every round's bit-vector layout is a *deterministic function of the round
+history* that all nodes compute identically:
+
+    [ request-bit region: one bit per slot, padded to a byte boundary ]
+    [ slot 0 bytes ][ slot 1 bytes ] ... [ slot N-1 bytes ]
+
+Each slot is either **closed** (0 bytes; only its request bit exists) or
+**open** with a current payload capacity.  An open slot on the wire is:
+
+    [ 2-byte length field ][ 1-byte shuffle-request field ][ padded payload ]
+
+* The length field requests the next round's payload capacity (0 closes
+  the slot); it is clamped by policy so a disruptor cannot explode round
+  sizes by flipping high bits.
+* The shuffle-request field (k low bits used) is the accusation trigger of
+  §3.9: any nonzero value asks the servers to run an accusation shuffle.
+* The padded payload is the OAEP-like encoding from
+  :mod:`repro.crypto.padding`, which makes every payload bit unpredictable
+  and lets the slot owner detect disruption.
+
+Layout evolution rules (applied by every node to the round output):
+
+* closed slot, request bit 1  → open at ``initial_slot_payload``.
+* open slot, all-zero content → owner silent; after ``idle_close_rounds``
+  consecutive silent rounds the slot closes.
+* open slot, decodable        → next capacity = clamp(length field);
+  0 closes the slot.
+* open slot, corrupted        → capacity unchanged (disruption must not
+  wedge scheduling; the accusation mechanism handles the disruptor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import Policy
+from repro.crypto import padding
+from repro.errors import ProtocolError
+from repro.util.bytesops import get_bit
+
+#: Wire overhead of an open slot before the padded payload.
+SLOT_HEADER_BYTES = 3
+LENGTH_FIELD_BYTES = 2
+
+#: Total wire bytes for an open slot with payload capacity L.
+def open_slot_bytes(payload_capacity: int) -> int:
+    """Wire footprint of an open slot: header + padding overhead + payload."""
+    if payload_capacity <= 0:
+        raise ValueError("open slots must have positive capacity")
+    return SLOT_HEADER_BYTES + padding.OVERHEAD + payload_capacity
+
+
+@dataclass(frozen=True)
+class SlotContent:
+    """Decoded view of one open slot in a round's cleartext output."""
+
+    slot_index: int
+    raw: bytes
+    is_silent: bool
+    is_corrupted: bool
+    requested_length: int | None
+    shuffle_request: int
+    payload: bytes | None
+
+
+@dataclass
+class _SlotState:
+    """Mutable per-slot scheduling state (internal)."""
+
+    capacity: int = 0  # 0 = closed
+    idle_rounds: int = 0
+
+
+@dataclass
+class RoundLayout:
+    """The byte/bit map of one DC-net round, identical on every node."""
+
+    num_slots: int
+    capacities: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.capacities) != self.num_slots:
+            raise ProtocolError("capacity list does not match slot count")
+
+    @property
+    def request_region_bytes(self) -> int:
+        return (self.num_slots + 7) // 8
+
+    @property
+    def total_bytes(self) -> int:
+        total = self.request_region_bytes
+        for cap in self.capacities:
+            if cap:
+                total += open_slot_bytes(cap)
+        return total
+
+    def request_bit_index(self, slot: int) -> int:
+        """Absolute bit index of a slot's request bit."""
+        self._check_slot(slot)
+        return slot
+
+    def is_open(self, slot: int) -> bool:
+        self._check_slot(slot)
+        return self.capacities[slot] > 0
+
+    def slot_byte_range(self, slot: int) -> tuple[int, int]:
+        """[start, end) byte offsets of an open slot within the round."""
+        self._check_slot(slot)
+        if not self.capacities[slot]:
+            raise ProtocolError(f"slot {slot} is closed this round")
+        offset = self.request_region_bytes
+        for s in range(slot):
+            if self.capacities[s]:
+                offset += open_slot_bytes(self.capacities[s])
+        return offset, offset + open_slot_bytes(self.capacities[slot])
+
+    def slot_bit_range(self, slot: int) -> tuple[int, int]:
+        """[start, end) absolute bit offsets of an open slot."""
+        start, end = self.slot_byte_range(slot)
+        return 8 * start, 8 * end
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise ProtocolError(f"slot {slot} out of range (N={self.num_slots})")
+
+
+def encode_slot(
+    layout: RoundLayout,
+    policy: Policy,
+    slot: int,
+    payload: bytes,
+    requested_length: int | None = None,
+    shuffle_request: int = 0,
+    pad_seed: bytes | None = None,
+) -> bytes:
+    """Build an open slot's wire bytes for its owner.
+
+    Args:
+        payload: message bytes; padded/truncated checks are the caller's
+            job — must fit the slot's capacity exactly or be shorter (it is
+            zero-extended to capacity before masking, so receivers always
+            decode a fixed-size payload whose tail is zeros).
+        requested_length: next-round capacity wish; None keeps the current
+            capacity, 0 closes the slot.
+        shuffle_request: k-bit accusation trigger value.
+    """
+    capacity = layout.capacities[slot]
+    if capacity == 0:
+        raise ProtocolError(f"slot {slot} is closed; cannot encode content")
+    if len(payload) > capacity:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds slot capacity {capacity}"
+        )
+    if requested_length is None:
+        requested_length = capacity
+    if not 0 <= requested_length < (1 << (8 * LENGTH_FIELD_BYTES)):
+        raise ProtocolError(f"requested length {requested_length} unencodable")
+    mask = (1 << policy.shuffle_request_bits) - 1
+    if shuffle_request != (shuffle_request & mask):
+        raise ProtocolError(
+            f"shuffle request {shuffle_request} exceeds {policy.shuffle_request_bits} bits"
+        )
+    header = requested_length.to_bytes(LENGTH_FIELD_BYTES, "big") + bytes(
+        [shuffle_request]
+    )
+    body = padding.encode(payload.ljust(capacity, b"\x00"), seed=pad_seed)
+    return header + body
+
+
+def decode_slot(
+    layout: RoundLayout, policy: Policy, slot: int, cleartext: bytes
+) -> SlotContent:
+    """Parse one open slot out of a round's cleartext output.
+
+    Never raises on corruption: disrupted slots come back with
+    ``is_corrupted=True`` so scheduling can continue deterministically.
+    """
+    start, end = layout.slot_byte_range(slot)
+    raw = cleartext[start:end]
+    if len(raw) != end - start:
+        raise ProtocolError("cleartext shorter than layout demands")
+    if raw == bytes(len(raw)):
+        return SlotContent(
+            slot_index=slot,
+            raw=raw,
+            is_silent=True,
+            is_corrupted=False,
+            requested_length=None,
+            shuffle_request=0,
+            payload=None,
+        )
+    requested = int.from_bytes(raw[:LENGTH_FIELD_BYTES], "big")
+    shuffle_request = raw[LENGTH_FIELD_BYTES] & (
+        (1 << policy.shuffle_request_bits) - 1
+    )
+    body = raw[SLOT_HEADER_BYTES:]
+    try:
+        payload = padding.decode(body)
+    except Exception:
+        return SlotContent(
+            slot_index=slot,
+            raw=raw,
+            is_silent=False,
+            is_corrupted=True,
+            requested_length=None,
+            shuffle_request=shuffle_request,
+            payload=None,
+        )
+    return SlotContent(
+        slot_index=slot,
+        raw=raw,
+        is_silent=False,
+        is_corrupted=False,
+        requested_length=requested,
+        shuffle_request=shuffle_request,
+        payload=payload,
+    )
+
+
+@dataclass
+class Scheduler:
+    """The shared layout state machine every node advances in lockstep.
+
+    One instance per node; all instances fed the same round outputs stay
+    byte-identical — tests assert this property directly.
+    """
+
+    num_slots: int
+    policy: Policy
+    _states: list[_SlotState] = field(init=False)
+    round_number: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 1:
+            raise ProtocolError("scheduler needs at least one slot")
+        self._states = [_SlotState() for _ in range(self.num_slots)]
+
+    def current_layout(self) -> RoundLayout:
+        return RoundLayout(
+            self.num_slots, tuple(state.capacity for state in self._states)
+        )
+
+    def slot_capacity(self, slot: int) -> int:
+        return self._states[slot].capacity
+
+    def advance(self, cleartext: bytes) -> list[SlotContent]:
+        """Digest a round's output and evolve every slot's state.
+
+        Returns the decoded slot contents (for app delivery) in slot order;
+        closed slots are omitted.
+        """
+        layout = self.current_layout()
+        if len(cleartext) != layout.total_bytes:
+            raise ProtocolError(
+                f"round output is {len(cleartext)} bytes; layout expects "
+                f"{layout.total_bytes}"
+            )
+        contents: list[SlotContent] = []
+        for slot in range(self.num_slots):
+            state = self._states[slot]
+            if state.capacity == 0:
+                if get_bit(cleartext, layout.request_bit_index(slot)):
+                    state.capacity = self.policy.initial_slot_payload
+                    state.idle_rounds = 0
+                continue
+            content = decode_slot(layout, self.policy, slot, cleartext)
+            contents.append(content)
+            if content.is_silent:
+                state.idle_rounds += 1
+                if state.idle_rounds >= self.policy.idle_close_rounds:
+                    state.capacity = 0
+                    state.idle_rounds = 0
+            elif content.is_corrupted:
+                state.idle_rounds = 0
+            else:
+                state.idle_rounds = 0
+                requested = min(
+                    content.requested_length, self.policy.max_slot_payload
+                )
+                state.capacity = requested
+        self.round_number += 1
+        return contents

@@ -1,0 +1,476 @@
+"""The Dissent server protocol (paper Algorithm 2).
+
+Per round, a server moves through six phases:
+
+1. **Submission** — collect signed client ciphertexts until its window
+   policy closes (window policies live in :mod:`repro.core.policy`; in
+   real-mode sessions the driver decides when to stop feeding ciphertexts).
+2. **Inventory** — broadcast the list of client identities heard from.
+3. **Commitment** — given all inventories, deterministically deduplicate
+   clients who submitted to several servers, form the composite list l,
+   check the participation floor, XOR pair streams for every client in l
+   with the directly-received ciphertexts, and broadcast ``HASH(s_j)``.
+4. **Combining** — after all commitments arrive, reveal ``s_j``.
+5. **Certification** — verify every reveal against its commitment, XOR all
+   server ciphertexts into the cleartext, and sign it.
+6. **Output** — assemble all signatures and push the certified output to
+   attached clients.
+
+The server keeps a bounded archive of past rounds (signed client
+submissions, inventories, server ciphertexts, layout geometry) so the
+accusation process can reopen any recent round.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.core.accusation import RoundEvidence, TraceDisclosure
+from repro.core.config import GroupDefinition
+from repro.core.rounds import RoundOutput, output_digest
+from repro.core.schedule import RoundLayout, Scheduler, SlotContent
+from repro.crypto import dh, prng
+from repro.crypto.hashing import commit as hash_commit, verify_commit
+from repro.crypto.keys import PrivateKey
+from repro.crypto.schnorr import Signature, sign as schnorr_sign, verify as schnorr_verify
+from repro.errors import CommitmentMismatch, ProtocolError
+from repro.net.message import (
+    CLIENT_CIPHERTEXT,
+    SERVER_COMMIT,
+    SERVER_INVENTORY,
+    SERVER_REVEAL,
+    SignedEnvelope,
+    make_envelope,
+)
+from repro.util.bytesops import xor_many
+from repro.util.serialization import pack_fields, unpack_fields
+
+
+class Phase(enum.Enum):
+    """Where a server stands within the current round."""
+
+    IDLE = "idle"
+    COLLECTING = "collecting"
+    INVENTORY = "inventory"
+    COMMITTED = "committed"
+    REVEALED = "revealed"
+    CERTIFIED = "certified"
+
+
+@dataclass
+class RoundArchive:
+    """Everything retained for accusation tracing of one past round."""
+
+    round_number: int
+    layout: RoundLayout
+    final_list: tuple[int, ...]
+    assignment: dict[int, int]
+    received_envelopes: dict[int, SignedEnvelope]
+    server_ciphertexts: list[bytes]
+    cleartext: bytes
+    participation: int
+
+    def to_evidence(self) -> RoundEvidence:
+        """Repackage for the accusation module's verifier interface."""
+        slot_ranges: dict[int, tuple[int, int]] = {}
+        for slot in range(self.layout.num_slots):
+            if self.layout.is_open(slot):
+                slot_ranges[slot] = self.layout.slot_bit_range(slot)
+        return RoundEvidence(
+            round_number=self.round_number,
+            final_list=self.final_list,
+            assignment=dict(self.assignment),
+            server_ciphertexts=list(self.server_ciphertexts),
+            cleartext=self.cleartext,
+            total_bytes=self.layout.total_bytes,
+            slot_bit_ranges=slot_ranges,
+        )
+
+
+@dataclass
+class _RoundState:
+    """Mutable state of the in-progress round (internal)."""
+
+    round_number: int
+    layout: RoundLayout
+    received: dict[int, SignedEnvelope] = field(default_factory=dict)
+    inventories: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    final_list: tuple[int, ...] = ()
+    assignment: dict[int, int] = field(default_factory=dict)
+    own_ciphertext: bytes = b""
+    commitments: dict[int, bytes] = field(default_factory=dict)
+    reveals: dict[int, bytes] = field(default_factory=dict)
+    cleartext: bytes = b""
+    signatures: dict[int, Signature] = field(default_factory=dict)
+    participation: int = 0
+
+
+class DissentServer:
+    """One anytrust server node (Algorithm 2)."""
+
+    def __init__(
+        self,
+        definition: GroupDefinition,
+        index: int,
+        key: PrivateKey,
+        rng: random.Random | None = None,
+    ) -> None:
+        if key.y != definition.server_keys[index].y:
+            raise ProtocolError("server key does not match the group definition")
+        self.definition = definition
+        self.index = index
+        self.key = key
+        self.rng = rng if rng is not None else random.Random()
+        self.name = definition.server_name(index)
+        self.group = definition.group
+        self.group_id = definition.group_id()
+        self.policy = definition.policy
+        self.secrets = {
+            i: dh.shared_secret(key, client_key)
+            for i, client_key in enumerate(definition.client_keys)
+        }
+        self.scheduler = Scheduler(definition.num_clients, definition.policy)
+        self.slot_keys: list[int] = []
+        self.phase = Phase.IDLE
+        self.expelled: set[int] = set()
+        self.archive: dict[int, RoundArchive] = {}
+        self.last_participation: int | None = None
+        self._state: _RoundState | None = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def learn_schedule(self, shuffled_elements: list[int]) -> None:
+        """Record the slot → pseudonym key mapping from the key shuffle."""
+        if len(shuffled_elements) != self.definition.num_clients:
+            raise ProtocolError("schedule length does not match client count")
+        self.slot_keys = list(shuffled_elements)
+
+    # ------------------------------------------------------------------
+    # Phase 1: submission collection
+    # ------------------------------------------------------------------
+
+    def open_round(self, round_number: int) -> None:
+        """Begin collecting ciphertexts for a new round."""
+        if self.phase not in (Phase.IDLE, Phase.COLLECTING):
+            raise ProtocolError(f"cannot open a round during phase {self.phase}")
+        self._state = _RoundState(
+            round_number=round_number, layout=self.scheduler.current_layout()
+        )
+        self.phase = Phase.COLLECTING
+
+    @property
+    def state(self) -> _RoundState:
+        if self._state is None:
+            raise ProtocolError("no round in progress")
+        return self._state
+
+    def accept_ciphertext(self, envelope: SignedEnvelope) -> bool:
+        """Validate and store one client submission; False if rejected."""
+        if self.phase is not Phase.COLLECTING:
+            return False
+        state = self.state
+        if envelope.msg_type != CLIENT_CIPHERTEXT:
+            return False
+        if envelope.round_number != state.round_number:
+            return False
+        if envelope.group_id != self.group_id:
+            return False
+        client_index = self._client_index(envelope.sender)
+        if client_index is None or client_index in self.expelled:
+            return False
+        if len(envelope.body) != state.layout.total_bytes:
+            return False
+        try:
+            envelope.verify(self.definition.client_keys[client_index])
+        except Exception:
+            return False
+        state.received[client_index] = envelope
+        return True
+
+    def _client_index(self, sender: str) -> int | None:
+        if not sender.startswith("client-"):
+            return None
+        try:
+            index = int(sender.split("-", 1)[1])
+        except ValueError:
+            return None
+        if not 0 <= index < self.definition.num_clients:
+            return None
+        return index
+
+    # ------------------------------------------------------------------
+    # Phase 2: inventory
+    # ------------------------------------------------------------------
+
+    def make_inventory(self) -> SignedEnvelope:
+        """Broadcast the sorted list of clients heard from."""
+        if self.phase is not Phase.COLLECTING:
+            raise ProtocolError(f"inventory out of order in phase {self.phase}")
+        state = self.state
+        self.phase = Phase.INVENTORY
+        client_list = sorted(state.received)
+        body = pack_fields(*[int(i) for i in client_list]) if client_list else b""
+        return make_envelope(
+            self.key,
+            SERVER_INVENTORY,
+            self.name,
+            self.group_id,
+            state.round_number,
+            body,
+        )
+
+    def receive_inventories(self, envelopes: list[SignedEnvelope]) -> int:
+        """Digest all inventories; returns the composite participation |l|.
+
+        Deduplication rule (deterministic on every server): a client that
+        submitted to several servers is assigned to the lowest-indexed
+        server that heard from it; only that server XORs the client's
+        ciphertext into its own.
+        """
+        if self.phase is not Phase.INVENTORY:
+            raise ProtocolError(f"inventories out of order in phase {self.phase}")
+        state = self.state
+        if len(envelopes) != self.definition.num_servers:
+            raise ProtocolError("need exactly one inventory per server")
+        for envelope in envelopes:
+            if envelope.msg_type != SERVER_INVENTORY:
+                raise ProtocolError("non-inventory envelope in inventory phase")
+            if envelope.round_number != state.round_number:
+                raise ProtocolError("inventory for a different round")
+            server_index = self._server_index(envelope.sender)
+            envelope.verify(self.definition.server_keys[server_index])
+            listed = (
+                tuple(int(x) for x in unpack_fields(envelope.body))
+                if envelope.body
+                else ()
+            )
+            state.inventories[server_index] = listed
+        assignment: dict[int, int] = {}
+        for server_index in sorted(state.inventories):
+            for client_index in state.inventories[server_index]:
+                if client_index in self.expelled:
+                    continue
+                assignment.setdefault(client_index, server_index)
+        state.assignment = assignment
+        state.final_list = tuple(sorted(assignment))
+        state.participation = len(state.final_list)
+        return state.participation
+
+    def _server_index(self, sender: str) -> int:
+        if not sender.startswith("server-"):
+            raise ProtocolError(f"not a server name: {sender!r}")
+        index = int(sender.split("-", 1)[1])
+        if not 0 <= index < self.definition.num_servers:
+            raise ProtocolError(f"server index {index} out of range")
+        return index
+
+    def participation_ok(self) -> bool:
+        """§3.7 floor: |l| >= alpha * (previous round's participation)."""
+        if self.last_participation is None:
+            return True
+        floor = self.policy.alpha * self.last_participation
+        return self.state.participation >= floor
+
+    # ------------------------------------------------------------------
+    # Phase 3: commitment
+    # ------------------------------------------------------------------
+
+    def compute_ciphertext(self) -> SignedEnvelope:
+        """Form s_j and broadcast its commitment."""
+        if self.phase is not Phase.INVENTORY:
+            raise ProtocolError(f"commitment out of order in phase {self.phase}")
+        state = self.state
+        length = state.layout.total_bytes
+        streams = [
+            prng.pair_stream(self.secrets[i], state.round_number, length)
+            for i in state.final_list
+        ]
+        own_blobs = [
+            state.received[i].body
+            for i in state.final_list
+            if state.assignment[i] == self.index and i in state.received
+        ]
+        state.own_ciphertext = xor_many([*streams, *own_blobs], length=length)
+        self.phase = Phase.COMMITTED
+        return make_envelope(
+            self.key,
+            SERVER_COMMIT,
+            self.name,
+            self.group_id,
+            state.round_number,
+            hash_commit(state.own_ciphertext),
+        )
+
+    def receive_commitments(self, envelopes: list[SignedEnvelope]) -> None:
+        """Store every server's commitment (must precede any reveal)."""
+        if self.phase is not Phase.COMMITTED:
+            raise ProtocolError(f"commitments out of order in phase {self.phase}")
+        state = self.state
+        if len(envelopes) != self.definition.num_servers:
+            raise ProtocolError("need exactly one commitment per server")
+        for envelope in envelopes:
+            if envelope.msg_type != SERVER_COMMIT:
+                raise ProtocolError("non-commit envelope in commitment phase")
+            server_index = self._server_index(envelope.sender)
+            envelope.verify(self.definition.server_keys[server_index])
+            if envelope.round_number != state.round_number:
+                raise ProtocolError("commitment for a different round")
+            state.commitments[server_index] = envelope.body
+
+    # ------------------------------------------------------------------
+    # Phase 4: combining
+    # ------------------------------------------------------------------
+
+    def reveal_ciphertext(self) -> SignedEnvelope:
+        """Share s_j once every commitment is in hand."""
+        state = self.state
+        if self.phase is not Phase.COMMITTED:
+            raise ProtocolError(f"reveal out of order in phase {self.phase}")
+        if len(state.commitments) != self.definition.num_servers:
+            raise ProtocolError("cannot reveal before all commitments arrive")
+        self.phase = Phase.REVEALED
+        return make_envelope(
+            self.key,
+            SERVER_REVEAL,
+            self.name,
+            self.group_id,
+            state.round_number,
+            state.own_ciphertext,
+        )
+
+    def receive_reveals(self, envelopes: list[SignedEnvelope]) -> bytes:
+        """Verify reveals against commitments and combine the cleartext."""
+        if self.phase is not Phase.REVEALED:
+            raise ProtocolError(f"reveals out of order in phase {self.phase}")
+        state = self.state
+        if len(envelopes) != self.definition.num_servers:
+            raise ProtocolError("need exactly one reveal per server")
+        blobs: list[bytes] = [b""] * self.definition.num_servers
+        for envelope in envelopes:
+            if envelope.msg_type != SERVER_REVEAL:
+                raise ProtocolError("non-reveal envelope in combining phase")
+            server_index = self._server_index(envelope.sender)
+            envelope.verify(self.definition.server_keys[server_index])
+            if envelope.round_number != state.round_number:
+                raise ProtocolError("reveal for a different round")
+            if not verify_commit(state.commitments[server_index], envelope.body):
+                raise CommitmentMismatch(
+                    f"server {server_index} revealed a ciphertext that does not "
+                    "match its commitment"
+                )
+            if len(envelope.body) != state.layout.total_bytes:
+                raise ProtocolError("revealed ciphertext has the wrong length")
+            blobs[server_index] = envelope.body
+        state.reveals = {j: blob for j, blob in enumerate(blobs)}
+        state.cleartext = xor_many(blobs, length=state.layout.total_bytes)
+        return state.cleartext
+
+    # ------------------------------------------------------------------
+    # Phase 5/6: certification and output
+    # ------------------------------------------------------------------
+
+    def sign_output(self) -> Signature:
+        """Certify the combined cleartext and participation count."""
+        state = self.state
+        if self.phase is not Phase.REVEALED:
+            raise ProtocolError(f"signing out of order in phase {self.phase}")
+        if not state.cleartext and state.layout.total_bytes:
+            raise ProtocolError("cannot sign before combining")
+        self.phase = Phase.CERTIFIED
+        digest = output_digest(
+            self.group_id, state.round_number, state.cleartext, state.participation
+        )
+        return schnorr_sign(self.key, digest)
+
+    def assemble_output(self, signatures: list[Signature]) -> RoundOutput:
+        """Collect all server signatures into a certified round output."""
+        state = self.state
+        if self.phase is not Phase.CERTIFIED:
+            raise ProtocolError(f"assembly out of order in phase {self.phase}")
+        if len(signatures) != self.definition.num_servers:
+            raise ProtocolError("need exactly one signature per server")
+        digest = output_digest(
+            self.group_id, state.round_number, state.cleartext, state.participation
+        )
+        for server_key, signature in zip(self.definition.server_keys, signatures):
+            if not schnorr_verify(server_key, digest, signature):
+                raise ProtocolError("peer server signature on output invalid")
+        return RoundOutput(
+            round_number=state.round_number,
+            cleartext=state.cleartext,
+            participation=state.participation,
+            signatures=tuple(signatures),
+        )
+
+    def finish_round(self, output: RoundOutput) -> list[SlotContent]:
+        """Archive the round, advance scheduling, return decoded slots."""
+        state = self.state
+        if self.phase is not Phase.CERTIFIED:
+            raise ProtocolError(f"finish out of order in phase {self.phase}")
+        self.archive[state.round_number] = RoundArchive(
+            round_number=state.round_number,
+            layout=state.layout,
+            final_list=state.final_list,
+            assignment=dict(state.assignment),
+            received_envelopes=dict(state.received),
+            server_ciphertexts=[
+                state.reveals[j] for j in range(self.definition.num_servers)
+            ],
+            cleartext=state.cleartext,
+            participation=state.participation,
+        )
+        self._trim_archive()
+        self.last_participation = state.participation
+        contents = self.scheduler.advance(state.cleartext)
+        self.phase = Phase.IDLE
+        self._state = None
+        return contents
+
+    def abandon_round(self) -> None:
+        """§3.7 hard timeout: discard everything, publish a fresh basis."""
+        state = self.state
+        self.last_participation = state.participation
+        self.phase = Phase.IDLE
+        self._state = None
+
+    def _trim_archive(self) -> None:
+        while len(self.archive) > self.policy.archive_rounds:
+            del self.archive[min(self.archive)]
+
+    # ------------------------------------------------------------------
+    # Accusation support (§3.9)
+    # ------------------------------------------------------------------
+
+    def expel_client(self, client_index: int) -> None:
+        """Remove a convicted disruptor from all future rounds."""
+        if not 0 <= client_index < self.definition.num_clients:
+            raise ProtocolError(f"client index {client_index} out of range")
+        self.expelled.add(client_index)
+
+    def trace_disclosure(self, round_number: int, bit_index: int) -> TraceDisclosure:
+        """Reveal our pair-stream bits and held evidence for a witness bit.
+
+        An honest server computes the true PRNG bits; adversarial
+        subclasses override this to model equivocation.
+        """
+        archive = self.archive.get(round_number)
+        if archive is None:
+            raise ProtocolError(f"round {round_number} not in archive")
+        pair_bits = {
+            i: prng.pair_stream_bit(self.secrets[i], round_number, bit_index)
+            for i in archive.final_list
+        }
+        own_envelopes = {
+            i: archive.received_envelopes[i]
+            for i in archive.final_list
+            if archive.assignment[i] == self.index and i in archive.received_envelopes
+        }
+        return TraceDisclosure(
+            server_index=self.index,
+            client_envelopes=own_envelopes,
+            pair_bits=pair_bits,
+        )

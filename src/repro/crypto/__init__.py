@@ -1,0 +1,37 @@
+"""Cryptographic substrate: groups, ElGamal, signatures, proofs, shuffles.
+
+Everything here is implemented from scratch over Python integers — the
+library has no external cryptography dependency.  The toy groups exported
+for tests are explicitly flagged ``is_toy`` and must not be used for real
+deployments.
+"""
+
+from repro.crypto.groups import (
+    SchnorrGroup,
+    production_group,
+    wide_group,
+    testing_group,
+    tiny_group,
+    medium_group,
+)
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto import dh, elgamal, hashing, padding, prng, proofs, schnorr, shuffle
+
+__all__ = [
+    "SchnorrGroup",
+    "production_group",
+    "wide_group",
+    "testing_group",
+    "tiny_group",
+    "medium_group",
+    "PrivateKey",
+    "PublicKey",
+    "dh",
+    "elgamal",
+    "hashing",
+    "padding",
+    "prng",
+    "proofs",
+    "schnorr",
+    "shuffle",
+]

@@ -1,0 +1,54 @@
+"""Fixed group parameters.
+
+Production-size parameters are the RFC 3526 MODP groups (1536- and
+2048-bit), the standard choice for discrete-log systems of the paper's era
+(Dissent's CryptoPP prototype used comparable moduli).  Test-size safe
+primes (64/256/512-bit) keep the full algebra exercised while letting the
+test suite run thousands of exponentiations in seconds.  The small groups
+are NOT secure and exist only for testing; every container carries an
+``is_toy`` flag so calling code can refuse them outside tests.
+
+All primes ``p`` here are safe primes (``p = 2q + 1`` with ``q`` prime) and
+every generator ``g`` generates the order-``q`` subgroup of quadratic
+residues, in which all protocol arithmetic takes place.
+"""
+
+from __future__ import annotations
+
+# --- RFC 3526 group 5: 1536-bit MODP ------------------------------------
+RFC3526_1536_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+
+# --- RFC 3526 group 14: 2048-bit MODP ------------------------------------
+RFC3526_2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+
+# --- Deterministically generated test safe primes ------------------------
+# Found by seeded search (Miller-Rabin, 40 rounds); see tools in tests.
+TEST_64_P = 0xABA5ABD8BECC230B
+TEST_256_P = 0xF2B19788485432E856C0EA5A5F416206E341DD3A152A90D0D39C2273DE2DF0B7
+TEST_512_P = int(
+    "DFEE7C447AED8C3725B4F9A0D83019D10181A8C8AA0C2FCD998B669851A071BB"
+    "DC36BDD7B64A5C61CBAFDDC4753102429BA37C896B00DE03B6AFA6AA8B147523",
+    16,
+)
+
+# g = 2**2 = 4 is a quadratic residue mod every safe prime above, hence a
+# generator of the order-q subgroup (its order divides q, and it is not 1).
+DEFAULT_GENERATOR = 4

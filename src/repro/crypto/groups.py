@@ -1,0 +1,184 @@
+"""Schnorr groups: prime-order subgroups of Z_p* for a safe prime p.
+
+All of Dissent's public-key machinery — ElGamal for the verifiable shuffle,
+Schnorr signatures on protocol messages, Diffie-Hellman client/server
+secrets, and the Chaum-Pedersen proofs used in decryption and rebuttals —
+operates in one algebraic setting: the order-``q`` subgroup of quadratic
+residues modulo a safe prime ``p = 2q + 1``.
+
+The class below wraps the modular arithmetic, random scalar and element
+generation, byte encoding, and the safe-prime message embedding that the
+paper's "general message shuffle" needs (§3.10: general messages must be
+embedded within group elements; key shuffles need no embedding, which is
+why the paper finds them much cheaper — our Figure 9 bench shows the same
+gap).
+
+Message embedding for safe primes: a message integer ``m`` in ``[1, q]``
+maps to ``m`` itself if ``m`` is a quadratic residue mod ``p`` and to
+``p - m`` otherwise; both cases are invertible because exactly one of
+``{m, p - m}`` is a QR for every ``m`` in ``[1, q]``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.crypto import constants
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A prime-order subgroup of Z_p* defined by a safe prime.
+
+    Attributes:
+        p: safe prime modulus.
+        g: generator of the order-``q`` subgroup of quadratic residues.
+        is_toy: True for the short test primes; such groups must never be
+            used outside tests.
+    """
+
+    p: int
+    g: int
+    is_toy: bool = False
+
+    @property
+    def q(self) -> int:
+        """Order of the subgroup: (p - 1) / 2."""
+        return (self.p - 1) // 2
+
+    @property
+    def element_bytes(self) -> int:
+        """Fixed byte width used to encode one group element."""
+        return (self.p.bit_length() + 7) // 8
+
+    @property
+    def scalar_bytes(self) -> int:
+        """Fixed byte width used to encode one exponent."""
+        return (self.q.bit_length() + 7) // 8
+
+    # -- membership and arithmetic ---------------------------------------
+
+    def is_element(self, x: int) -> bool:
+        """True iff ``x`` lies in the order-q subgroup (is a QR mod p)."""
+        if not 1 <= x < self.p:
+            return False
+        return pow(x, self.q, self.p) == 1
+
+    def require_element(self, x: int, what: str = "value") -> int:
+        """Return ``x`` if it is a subgroup element, else raise CryptoError."""
+        if not self.is_element(x):
+            raise CryptoError(f"{what} {x:#x} is not a group element")
+        return x
+
+    def mul(self, a: int, b: int) -> int:
+        """Group operation: modular multiplication."""
+        return a * b % self.p
+
+    def exp(self, base: int, e: int) -> int:
+        """Modular exponentiation ``base**e mod p`` (exponent mod q)."""
+        return pow(base, e % self.q, self.p)
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse mod p."""
+        return pow(a, -1, self.p)
+
+    def identity(self) -> int:
+        return 1
+
+    # -- randomness --------------------------------------------------------
+
+    def random_scalar(self, rng: secrets.SystemRandom | None = None) -> int:
+        """Uniform exponent in [1, q-1]."""
+        if rng is None:
+            return secrets.randbelow(self.q - 1) + 1
+        return rng.randrange(1, self.q)
+
+    def random_element(self, rng: secrets.SystemRandom | None = None) -> int:
+        """Uniform element of the subgroup (g raised to a random scalar)."""
+        return self.exp(self.g, self.random_scalar(rng))
+
+    # -- encoding ---------------------------------------------------------
+
+    def element_to_bytes(self, x: int) -> bytes:
+        """Fixed-width big-endian encoding of a group element."""
+        return x.to_bytes(self.element_bytes, "big")
+
+    def element_from_bytes(self, data: bytes) -> int:
+        """Decode and validate a group element."""
+        if len(data) != self.element_bytes:
+            raise CryptoError(
+                f"element encoding must be {self.element_bytes} bytes, got {len(data)}"
+            )
+        return self.require_element(int.from_bytes(data, "big"), "decoded element")
+
+    # -- message embedding (general message shuffles) ----------------------
+
+    @property
+    def message_bytes(self) -> int:
+        """Maximum message payload one element can embed.
+
+        One byte is reserved below the modulus so the padded integer stays
+        under ``q``; the first byte of the embedded integer is a 0x01 guard
+        that keeps leading zero bytes of the message from being lost.
+        """
+        return (self.q.bit_length() - 9) // 8
+
+    def encode_message(self, message: bytes) -> int:
+        """Embed ``message`` into a group element (invertible).
+
+        The message is framed as ``0x01 || message`` interpreted big-endian,
+        which is in ``[1, q]`` by the width check; the QR trick then maps it
+        into the subgroup.
+        """
+        if len(message) > self.message_bytes:
+            raise CryptoError(
+                f"message too long to embed: {len(message)} > {self.message_bytes}"
+            )
+        m = int.from_bytes(b"\x01" + message, "big")
+        if not 1 <= m <= self.q:
+            raise CryptoError("framed message out of embeddable range")
+        if pow(m, self.q, self.p) == 1:
+            return m
+        return self.p - m
+
+    def decode_message(self, element: int) -> bytes:
+        """Invert :func:`encode_message`."""
+        self.require_element(element, "embedded message")
+        m = element if element <= self.q else self.p - element
+        raw = m.to_bytes((m.bit_length() + 7) // 8, "big")
+        if not raw or raw[0] != 0x01:
+            raise CryptoError("element does not carry an embedded message")
+        return raw[1:]
+
+
+@lru_cache(maxsize=None)
+def production_group() -> SchnorrGroup:
+    """RFC 3526 2048-bit MODP group — the deployment default."""
+    return SchnorrGroup(constants.RFC3526_2048_P, constants.DEFAULT_GENERATOR)
+
+
+@lru_cache(maxsize=None)
+def wide_group() -> SchnorrGroup:
+    """RFC 3526 1536-bit MODP group — the cheaper production option."""
+    return SchnorrGroup(constants.RFC3526_1536_P, constants.DEFAULT_GENERATOR)
+
+
+@lru_cache(maxsize=None)
+def testing_group() -> SchnorrGroup:
+    """256-bit toy group for fast functional tests.  Not secure."""
+    return SchnorrGroup(constants.TEST_256_P, constants.DEFAULT_GENERATOR, is_toy=True)
+
+
+@lru_cache(maxsize=None)
+def tiny_group() -> SchnorrGroup:
+    """64-bit toy group for property tests that hammer the algebra."""
+    return SchnorrGroup(constants.TEST_64_P, constants.DEFAULT_GENERATOR, is_toy=True)
+
+
+@lru_cache(maxsize=None)
+def medium_group() -> SchnorrGroup:
+    """512-bit toy group: big enough to embed 55-byte messages in tests."""
+    return SchnorrGroup(constants.TEST_512_P, constants.DEFAULT_GENERATOR, is_toy=True)

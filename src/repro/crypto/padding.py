@@ -1,0 +1,90 @@
+"""Randomized self-masking message padding (paper §3.9).
+
+A disruptor who could predict a victim's cleartext could flip only 1 bits
+to 0 and never create a *witness bit* (a 0 the disruptor turned into a 1),
+defeating the accusation mechanism.  Dissent therefore applies an
+OAEP-like transform: pick a random seed ``r``, derive a one-time pad
+``s = PRNG(r)``, and transmit ``r || m XOR s``.  Every cleartext bit is
+then uniformly distributed to anyone not holding ``r``, so any bit flip is
+a witness bit with probability 1/2.
+
+Encoded layout (all lengths fixed per slot):
+
+    seed (SEED_BYTES) || digest (DIGEST_BYTES) || m XOR PRNG(seed)
+
+The short digest of the unmasked message lets the *owner* (and only
+someone holding the slot contents) detect corruption reliably — this is
+how a victim knows a disruption happened even when the flipped bit lands
+in the masked payload region.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.prng import seeded_stream
+from repro.crypto.hashing import sha256
+from repro.errors import PaddingError
+from repro.util.bytesops import xor_bytes
+
+SEED_BYTES = 16
+CHECK_BYTES = 8
+OVERHEAD = SEED_BYTES + CHECK_BYTES
+
+
+def padded_length(message_length: int) -> int:
+    """Total slot bytes needed to carry a message of ``message_length``."""
+    if message_length < 0:
+        raise ValueError("message length must be non-negative")
+    return message_length + OVERHEAD
+
+
+def max_message_length(slot_length: int) -> int:
+    """Largest message a slot of ``slot_length`` bytes can carry."""
+    return max(0, slot_length - OVERHEAD)
+
+
+def encode(message: bytes, seed: bytes | None = None) -> bytes:
+    """Mask ``message`` with a fresh random pad.
+
+    Args:
+        message: raw payload bytes.
+        seed: override the random seed (tests only; production callers let
+            the library draw fresh randomness).
+    """
+    if seed is None:
+        seed = secrets.token_bytes(SEED_BYTES)
+    if len(seed) != SEED_BYTES:
+        raise PaddingError(f"seed must be {SEED_BYTES} bytes, got {len(seed)}")
+    digest = sha256(b"dissent.pad-check.v1", seed, message)[:CHECK_BYTES]
+    pad = seeded_stream(seed, len(message))
+    return seed + digest + xor_bytes(message, pad)
+
+
+def decode(encoded: bytes) -> bytes:
+    """Unmask and integrity-check an encoded slot payload.
+
+    Raises:
+        PaddingError: if the encoding is too short or the check digest does
+            not match — i.e. the slot was disrupted.
+    """
+    if len(encoded) < OVERHEAD:
+        raise PaddingError(f"encoded payload too short: {len(encoded)} bytes")
+    seed = encoded[:SEED_BYTES]
+    digest = encoded[SEED_BYTES:OVERHEAD]
+    masked = encoded[OVERHEAD:]
+    pad = seeded_stream(seed, len(masked))
+    message = xor_bytes(masked, pad)
+    expected = sha256(b"dissent.pad-check.v1", seed, message)[:CHECK_BYTES]
+    if expected != digest:
+        raise PaddingError("padding check digest mismatch (slot corrupted)")
+    return message
+
+
+def is_intact(encoded: bytes) -> bool:
+    """True iff :func:`decode` would succeed."""
+    try:
+        decode(encoded)
+    except PaddingError:
+        return False
+    return True

@@ -1,0 +1,141 @@
+"""Zero-knowledge proofs: Schnorr PoK and Chaum-Pedersen DLEQ.
+
+Dissent uses Chaum-Pedersen proofs [15] for verifiable decryption in the
+shuffle cascade (§3.10) and — in our implementation, as the paper sketches
+in §3.9 — for the accusation rebuttal: proving that a revealed DH element
+really is the shared secret of two public keys, without revealing either
+private key.
+
+Both proofs are made non-interactive with Fiat-Shamir; an optional
+``context`` byte string binds a proof to its use site so transcripts cannot
+be replayed across protocol phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.hashing import challenge_scalar
+from repro.errors import InvalidProof
+
+_DOMAIN_POK = b"dissent.schnorr-pok.v1"
+_DOMAIN_DLEQ = b"dissent.chaum-pedersen.v1"
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """Proof of knowledge of x with y = g**x (challenge form)."""
+
+    c: int
+    s: int
+
+
+def prove_dlog(group: SchnorrGroup, x: int, context: bytes = b"") -> SchnorrProof:
+    """Prove knowledge of the discrete log of ``g**x``."""
+    y = group.exp(group.g, x)
+    k = group.random_scalar()
+    t = group.exp(group.g, k)
+    c = challenge_scalar(
+        group.q,
+        _DOMAIN_POK,
+        context,
+        group.element_to_bytes(y),
+        group.element_to_bytes(t),
+    )
+    s = (k + c * x) % group.q
+    return SchnorrProof(c, s)
+
+
+def verify_dlog(group: SchnorrGroup, y: int, proof: SchnorrProof, context: bytes = b"") -> bool:
+    """Check a :func:`prove_dlog` transcript against public value ``y``."""
+    if not group.is_element(y):
+        return False
+    if not (0 <= proof.c < group.q and 0 <= proof.s < group.q):
+        return False
+    t = group.mul(group.exp(group.g, proof.s), group.inv(group.exp(y, proof.c)))
+    expected = challenge_scalar(
+        group.q,
+        _DOMAIN_POK,
+        context,
+        group.element_to_bytes(y),
+        group.element_to_bytes(t),
+    )
+    return expected == proof.c
+
+
+@dataclass(frozen=True)
+class DleqProof:
+    """Chaum-Pedersen proof that log_g(u) == log_h(v) (challenge form)."""
+
+    c: int
+    s: int
+
+
+def prove_dleq(
+    group: SchnorrGroup, x: int, h: int, context: bytes = b""
+) -> DleqProof:
+    """Prove ``log_g(g**x) == log_h(h**x)`` for a second base ``h``.
+
+    The prover knows ``x``; the verifier sees ``u = g**x`` and ``v = h**x``.
+    """
+    group.require_element(h, "DLEQ base h")
+    u = group.exp(group.g, x)
+    v = group.exp(h, x)
+    k = group.random_scalar()
+    t1 = group.exp(group.g, k)
+    t2 = group.exp(h, k)
+    c = challenge_scalar(
+        group.q,
+        _DOMAIN_DLEQ,
+        context,
+        group.element_to_bytes(h),
+        group.element_to_bytes(u),
+        group.element_to_bytes(v),
+        group.element_to_bytes(t1),
+        group.element_to_bytes(t2),
+    )
+    s = (k + c * x) % group.q
+    return DleqProof(c, s)
+
+
+def verify_dleq(
+    group: SchnorrGroup,
+    u: int,
+    h: int,
+    v: int,
+    proof: DleqProof,
+    context: bytes = b"",
+) -> bool:
+    """Check that ``(g, u)`` and ``(h, v)`` share a discrete log."""
+    for value, what in ((u, "u"), (h, "h"), (v, "v")):
+        if not group.is_element(value):
+            return False
+    if not (0 <= proof.c < group.q and 0 <= proof.s < group.q):
+        return False
+    t1 = group.mul(group.exp(group.g, proof.s), group.inv(group.exp(u, proof.c)))
+    t2 = group.mul(group.exp(h, proof.s), group.inv(group.exp(v, proof.c)))
+    expected = challenge_scalar(
+        group.q,
+        _DOMAIN_DLEQ,
+        context,
+        group.element_to_bytes(h),
+        group.element_to_bytes(u),
+        group.element_to_bytes(v),
+        group.element_to_bytes(t1),
+        group.element_to_bytes(t2),
+    )
+    return expected == proof.c
+
+
+def require_dleq(
+    group: SchnorrGroup,
+    u: int,
+    h: int,
+    v: int,
+    proof: DleqProof,
+    context: bytes = b"",
+) -> None:
+    """Raise :class:`InvalidProof` unless the DLEQ proof verifies."""
+    if not verify_dleq(group, u, h, v, proof, context):
+        raise InvalidProof("Chaum-Pedersen DLEQ verification failed")

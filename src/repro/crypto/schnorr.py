@@ -1,0 +1,90 @@
+"""Schnorr signatures.
+
+"All network messages are signed to ensure integrity and accountability"
+(paper §3.3).  We use textbook Schnorr over the protocol group with a
+Fiat-Shamir challenge:
+
+    commit  t = g**k
+    c       = H(domain, y, t, message)
+    s       = k + c*x  mod q
+    verify  g**s == t * y**c
+
+Signatures are (c, s) pairs (challenge form), which verify by recomputing
+``t' = g**s * y**(-c)`` and checking ``c == H(..., t', message)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import challenge_scalar
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.errors import InvalidSignature
+
+_DOMAIN = b"dissent.schnorr-sig.v1"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A Schnorr signature in challenge form."""
+
+    c: int
+    s: int
+
+    def to_bytes(self, group) -> bytes:
+        width = group.scalar_bytes
+        return self.c.to_bytes(width, "big") + self.s.to_bytes(width, "big")
+
+    @classmethod
+    def from_bytes(cls, group, data: bytes) -> "Signature":
+        width = group.scalar_bytes
+        if len(data) != 2 * width:
+            raise InvalidSignature(
+                f"signature must be {2 * width} bytes, got {len(data)}"
+            )
+        return cls(
+            int.from_bytes(data[:width], "big"),
+            int.from_bytes(data[width:], "big"),
+        )
+
+
+def sign(key: PrivateKey, message: bytes) -> Signature:
+    """Sign ``message`` with a fresh per-signature nonce."""
+    group = key.group
+    k = group.random_scalar()
+    t = group.exp(group.g, k)
+    c = challenge_scalar(
+        group.q,
+        _DOMAIN,
+        group.element_to_bytes(key.y),
+        group.element_to_bytes(t),
+        message,
+    )
+    s = (k + c * key.x) % group.q
+    return Signature(c, s)
+
+
+def verify(key: PublicKey, message: bytes, signature: Signature) -> bool:
+    """True iff ``signature`` is valid for ``message`` under ``key``."""
+    group = key.group
+    if not (0 <= signature.c < group.q and 0 <= signature.s < group.q):
+        return False
+    # t' = g**s / y**c
+    t = group.mul(
+        group.exp(group.g, signature.s),
+        group.inv(group.exp(key.y, signature.c)),
+    )
+    expected = challenge_scalar(
+        group.q,
+        _DOMAIN,
+        group.element_to_bytes(key.y),
+        group.element_to_bytes(t),
+        message,
+    )
+    return expected == signature.c
+
+
+def require_valid(key: PublicKey, message: bytes, signature: Signature) -> None:
+    """Raise :class:`InvalidSignature` unless the signature verifies."""
+    if not verify(key, message, signature):
+        raise InvalidSignature("Schnorr signature verification failed")

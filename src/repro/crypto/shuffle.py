@@ -1,0 +1,504 @@
+"""Verifiable decryption mix cascade (the paper's §3.10 shuffle).
+
+Dissent schedules DC-net slots by shuffling client pseudonym keys so that
+"no subset of clients or servers knows the permutation", and reuses the
+same machinery for accusation shuffles.  The paper uses Neff's verifiable
+shuffle; it also notes that "Dissent depends minimally on the shuffle's
+implementation details, so many shuffle algorithms should be usable".
+
+We implement a mix cascade with per-server verifiability:
+
+1. **Permute + re-randomize.**  Server j draws a secret permutation pi and
+   re-randomizes every input under the *remaining* combined key (its own
+   and all later servers').  Correctness is attested by a cut-and-choose
+   argument: ``lam`` independent bridge shuffles are published, and a
+   Fiat-Shamir challenge bit per bridge opens either the input→bridge link
+   or the bridge→output link — never both, so pi stays secret, while a
+   cheating server survives with probability at most ``2**-lam``.
+2. **Strip.**  Server j then removes its ElGamal layer position-wise,
+   attaching a Chaum-Pedersen DLEQ proof per ciphertext that the quotient
+   ``b/b'`` equals ``a**x_j`` for the server's published key.
+
+After the last server, the ``b`` components are bare plaintext elements.
+Anytrust holds: one honest server's unrevealed permutation unlinks inputs
+from outputs even if every other server colludes.
+
+Shuffle units are **vectors** of ciphertexts so that general messages
+longer than one group element can travel through the mix (the paper's
+"general message shuffle"; §3.10 notes such messages must be embedded in
+group elements, which is why key shuffles — width-1 vectors of bare key
+elements — are the cheap case).
+
+Complexity per server is ``O(lam * N * W)`` exponentiations for N inputs
+of width W — like Neff's shuffle, linear in N with a constant factor set
+by the soundness level.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.crypto import elgamal
+from repro.crypto.elgamal import Ciphertext
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.proofs import DleqProof, prove_dleq, verify_dleq
+from repro.errors import ShuffleError
+
+#: Statistical soundness parameter: a dishonest mix survives verification
+#: with probability 2**-DEFAULT_SOUNDNESS_BITS.
+DEFAULT_SOUNDNESS_BITS = 16
+
+#: One shuffle unit: a fixed-width tuple of ElGamal ciphertexts.
+CipherVector = tuple[Ciphertext, ...]
+
+
+@dataclass(frozen=True)
+class BridgeReveal:
+    """One opened branch of the cut-and-choose argument.
+
+    ``side`` 0 opens the input→bridge link; 1 opens bridge→output.
+    ``permutation[k]`` is the source index feeding position ``k`` and
+    ``randomness[k][w]`` the re-randomization exponent applied to
+    component ``w`` at position ``k``.
+    """
+
+    side: int
+    permutation: tuple[int, ...]
+    randomness: tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class ShuffleArgument:
+    """Cut-and-choose transcript for one permute+re-randomize step."""
+
+    bridges: tuple[tuple[CipherVector, ...], ...]
+    reveals: tuple[BridgeReveal, ...]
+
+
+@dataclass(frozen=True)
+class ShuffleStep:
+    """Everything one server publishes during its cascade turn."""
+
+    server_index: int
+    permuted: tuple[CipherVector, ...]
+    argument: ShuffleArgument
+    stripped: tuple[CipherVector, ...]
+    decryption_proofs: tuple[tuple[DleqProof, ...], ...]
+
+
+@dataclass(frozen=True)
+class ShuffleTranscript:
+    """The full public record of a cascade run: inputs plus every step."""
+
+    inputs: tuple[CipherVector, ...]
+    steps: tuple[ShuffleStep, ...]
+
+    def output_vectors(self, group: SchnorrGroup) -> list[list[int]]:
+        """Plaintext element vectors after the final strip."""
+        if not self.steps:
+            raise ShuffleError("transcript has no steps")
+        return [
+            [elgamal.final_plaintext(group, ct) for ct in vector]
+            for vector in self.steps[-1].stripped
+        ]
+
+    def outputs(self, group: SchnorrGroup) -> list[int]:
+        """Plaintext elements for width-1 shuffles (e.g. key shuffles)."""
+        vectors = self.output_vectors(group)
+        for vector in vectors:
+            if len(vector) != 1:
+                raise ShuffleError("outputs() requires width-1 vectors")
+        return [vector[0] for vector in vectors]
+
+
+@dataclass
+class _Bridge:
+    """Prover-side bookkeeping for one bridge shuffle (never published)."""
+
+    vectors: list[CipherVector] = field(default_factory=list)
+    permutation: list[int] = field(default_factory=list)
+    randomness: list[tuple[int, ...]] = field(default_factory=list)
+
+
+def _vector_width(inputs: Sequence[CipherVector]) -> int:
+    if not inputs:
+        raise ShuffleError("shuffle needs at least one input")
+    width = len(inputs[0])
+    if width < 1:
+        raise ShuffleError("shuffle vectors must have at least one component")
+    for vector in inputs:
+        if len(vector) != width:
+            raise ShuffleError("all shuffle vectors must share one width")
+    return width
+
+
+def _hash_vectors(group: SchnorrGroup, vectors: Sequence[CipherVector]) -> bytes:
+    parts = [ct.to_bytes(group) for vector in vectors for ct in vector]
+    return sha256(*parts) if parts else sha256(b"empty")
+
+
+def _challenge_bits(
+    group: SchnorrGroup,
+    context: bytes,
+    inputs: Sequence[CipherVector],
+    outputs: Sequence[CipherVector],
+    bridges: Sequence[Sequence[CipherVector]],
+) -> list[int]:
+    """Fiat-Shamir challenge: one bit per bridge, bound to the whole step."""
+    digest = sha256(
+        b"dissent.shuffle-challenge.v2",
+        context,
+        _hash_vectors(group, inputs),
+        _hash_vectors(group, outputs),
+        *(_hash_vectors(group, bridge) for bridge in bridges),
+    )
+    bits: list[int] = []
+    while len(bits) < len(bridges):
+        for byte in digest:
+            for shift in range(8):
+                bits.append((byte >> shift) & 1)
+                if len(bits) == len(bridges):
+                    return bits
+        digest = sha256(digest)
+    return bits
+
+
+def _permuted_rerandomization(
+    remaining_key: PublicKey,
+    inputs: Sequence[CipherVector],
+    rng: random.Random | None,
+) -> _Bridge:
+    """Apply a fresh uniform permutation + re-randomization to ``inputs``."""
+    group = remaining_key.group
+    n = len(inputs)
+    order = list(range(n))
+    if rng is None:
+        for i in range(n - 1, 0, -1):
+            j = secrets.randbelow(i + 1)
+            order[i], order[j] = order[j], order[i]
+    else:
+        rng.shuffle(order)
+    bridge = _Bridge(permutation=order)
+    for k in range(n):
+        randomness: list[int] = []
+        fresh: list[Ciphertext] = []
+        for ct in inputs[order[k]]:
+            r = group.random_scalar(rng)
+            new_ct, _ = elgamal.rerandomize(remaining_key, ct, r)
+            fresh.append(new_ct)
+            randomness.append(r)
+        bridge.vectors.append(tuple(fresh))
+        bridge.randomness.append(tuple(randomness))
+    return bridge
+
+
+def shuffle_step(
+    server_key: PrivateKey,
+    remaining_keys: Sequence[PublicKey],
+    inputs: Sequence[CipherVector],
+    server_index: int,
+    soundness_bits: int = DEFAULT_SOUNDNESS_BITS,
+    context: bytes = b"",
+    rng: random.Random | None = None,
+) -> ShuffleStep:
+    """Run one server's cascade turn and emit its public step record.
+
+    Args:
+        server_key: this server's ElGamal private key.
+        remaining_keys: public keys of this server and all later servers —
+            the layers still wrapped around the inputs.
+        inputs: ciphertext vectors from the previous server (or clients).
+        server_index: position in the cascade (recorded in the transcript).
+        soundness_bits: number of cut-and-choose bridges (``lam``).
+        context: domain-separation bytes binding the run (group id, round,
+            shuffle purpose) into the Fiat-Shamir challenge.
+        rng: deterministic randomness for tests; None uses the OS CSPRNG.
+    """
+    group = server_key.group
+    if not remaining_keys or remaining_keys[0].y != server_key.y:
+        raise ShuffleError("remaining_keys must start with this server's own key")
+    if soundness_bits < 1:
+        raise ShuffleError("soundness_bits must be at least 1")
+    _vector_width(inputs)
+    remaining_key = elgamal.combined_key(remaining_keys)
+    for vector in inputs:
+        for ct in vector:
+            ct.validate(group)
+
+    # Step 1: the real permutation + re-randomization.
+    main = _permuted_rerandomization(remaining_key, inputs, rng)
+
+    # Step 2: bridge shuffles for the cut-and-choose argument.
+    bridges = [
+        _permuted_rerandomization(remaining_key, inputs, rng)
+        for _ in range(soundness_bits)
+    ]
+    bits = _challenge_bits(
+        group, context, inputs, main.vectors, [b.vectors for b in bridges]
+    )
+
+    reveals: list[BridgeReveal] = []
+    for bridge, bit in zip(bridges, bits):
+        if bit == 0:
+            # Open input -> bridge: the bridge's own permutation/randomness.
+            reveals.append(
+                BridgeReveal(
+                    0, tuple(bridge.permutation), tuple(bridge.randomness)
+                )
+            )
+        else:
+            # Open bridge -> output: rho maps each output position to the
+            # bridge position carrying the same plaintext; the randomness
+            # delta completes the re-randomization chain.
+            inverse = [0] * len(bridge.permutation)
+            for position, source in enumerate(bridge.permutation):
+                inverse[source] = position
+            rho = [inverse[source] for source in main.permutation]
+            delta = [
+                tuple(
+                    (main_r - bridge_r) % group.q
+                    for main_r, bridge_r in zip(
+                        main.randomness[k], bridge.randomness[rho[k]]
+                    )
+                )
+                for k in range(len(inputs))
+            ]
+            reveals.append(BridgeReveal(1, tuple(rho), tuple(delta)))
+
+    argument = ShuffleArgument(
+        bridges=tuple(tuple(b.vectors) for b in bridges),
+        reveals=tuple(reveals),
+    )
+
+    # Step 3: position-preserving verifiable decryption of our own layer.
+    stripped: list[CipherVector] = []
+    proofs: list[tuple[DleqProof, ...]] = []
+    for vector in main.vectors:
+        out_vector: list[Ciphertext] = []
+        proof_vector: list[DleqProof] = []
+        for ct in vector:
+            out_vector.append(elgamal.strip_layer(server_key, ct))
+            proof_vector.append(
+                prove_dleq(group, server_key.x, ct.a, context=context + b"|strip")
+            )
+        stripped.append(tuple(out_vector))
+        proofs.append(tuple(proof_vector))
+
+    return ShuffleStep(
+        server_index=server_index,
+        permuted=tuple(main.vectors),
+        argument=argument,
+        stripped=tuple(stripped),
+        decryption_proofs=tuple(proofs),
+    )
+
+
+def _verify_link(
+    remaining_key: PublicKey,
+    source: Sequence[CipherVector],
+    target: Sequence[CipherVector],
+    permutation: Sequence[int],
+    randomness: Sequence[Sequence[int]],
+) -> bool:
+    """Check target[k] == rerandomize(source[permutation[k]], randomness[k])."""
+    group = remaining_key.group
+    n = len(source)
+    if sorted(permutation) != list(range(n)) or len(randomness) != n:
+        return False
+    for k in range(n):
+        src_vector = source[permutation[k]]
+        tgt_vector = target[k]
+        r_vector = randomness[k]
+        if len(src_vector) != len(tgt_vector) or len(r_vector) != len(src_vector):
+            return False
+        for src, tgt, r in zip(src_vector, tgt_vector, r_vector):
+            expected_a = group.mul(src.a, group.exp(group.g, r))
+            expected_b = group.mul(src.b, group.exp(remaining_key.y, r))
+            if tgt.a != expected_a or tgt.b != expected_b:
+                return False
+    return True
+
+
+def verify_step(
+    server_public: PublicKey,
+    remaining_keys: Sequence[PublicKey],
+    inputs: Sequence[CipherVector],
+    step: ShuffleStep,
+    context: bytes = b"",
+) -> bool:
+    """Verify one server's published cascade step.
+
+    Checks the cut-and-choose argument (every opened branch must verify and
+    match the Fiat-Shamir challenge bits) and every decryption proof.
+    """
+    group = server_public.group
+    n = len(inputs)
+    if len(step.permuted) != n or len(step.stripped) != n:
+        return False
+    if len(step.decryption_proofs) != n:
+        return False
+    remaining_key = elgamal.combined_key(remaining_keys)
+
+    bits = _challenge_bits(group, context, inputs, step.permuted, step.argument.bridges)
+    if len(step.argument.reveals) != len(step.argument.bridges):
+        return False
+    for bridge, reveal, bit in zip(step.argument.bridges, step.argument.reveals, bits):
+        if reveal.side != bit:
+            return False
+        if len(bridge) != n:
+            return False
+        if bit == 0:
+            ok = _verify_link(
+                remaining_key, inputs, bridge, reveal.permutation, reveal.randomness
+            )
+        else:
+            ok = _verify_link(
+                remaining_key,
+                bridge,
+                step.permuted,
+                reveal.permutation,
+                reveal.randomness,
+            )
+        if not ok:
+            return False
+
+    # Verifiable decryption: componentwise b/b' == a**x_j, a unchanged.
+    for vector, out_vector, proof_vector in zip(
+        step.permuted, step.stripped, step.decryption_proofs
+    ):
+        if len(out_vector) != len(vector) or len(proof_vector) != len(vector):
+            return False
+        for ct, out, proof in zip(vector, out_vector, proof_vector):
+            if out.a != ct.a:
+                return False
+            quotient = group.mul(ct.b, group.inv(out.b))
+            if not verify_dleq(
+                group,
+                server_public.y,
+                ct.a,
+                quotient,
+                proof,
+                context=context + b"|strip",
+            ):
+                return False
+    return True
+
+
+def run_cascade(
+    server_keys: Sequence[PrivateKey],
+    inputs: Sequence[CipherVector],
+    soundness_bits: int = DEFAULT_SOUNDNESS_BITS,
+    context: bytes = b"",
+    rng: random.Random | None = None,
+) -> ShuffleTranscript:
+    """Drive the full cascade through every server in order (trusted driver).
+
+    Real deployments run each :func:`shuffle_step` on its own server; this
+    helper wires the steps together for in-process sessions and tests.
+    """
+    if not server_keys:
+        raise ShuffleError("cascade needs at least one server")
+    publics = [key.public for key in server_keys]
+    current: Sequence[CipherVector] = tuple(inputs)
+    steps: list[ShuffleStep] = []
+    for j, key in enumerate(server_keys):
+        step = shuffle_step(
+            key,
+            publics[j:],
+            current,
+            server_index=j,
+            soundness_bits=soundness_bits,
+            context=context,
+            rng=rng,
+        )
+        steps.append(step)
+        current = step.stripped
+    return ShuffleTranscript(inputs=tuple(inputs), steps=tuple(steps))
+
+
+def verify_transcript(
+    server_publics: Sequence[PublicKey],
+    transcript: ShuffleTranscript,
+    context: bytes = b"",
+) -> bool:
+    """Verify a full cascade transcript against the server public keys."""
+    if len(transcript.steps) != len(server_publics):
+        return False
+    current: Sequence[CipherVector] = transcript.inputs
+    for j, (public, step) in enumerate(zip(server_publics, transcript.steps)):
+        if step.server_index != j:
+            return False
+        if not verify_step(public, server_publics[j:], current, step, context):
+            return False
+        current = step.stripped
+    return True
+
+
+# --- client-side input preparation ---------------------------------------
+
+
+def prepare_element_input(
+    server_publics: Sequence[PublicKey],
+    element: int,
+    rng: random.Random | None = None,
+) -> CipherVector:
+    """Wrap one bare group element (e.g. a pseudonym key) for the cascade."""
+    group = server_publics[0].group
+    r = group.random_scalar(rng)
+    return (elgamal.encrypt_layered(server_publics, element, r),)
+
+
+def message_vector_width(group: SchnorrGroup, max_message_bytes: int) -> int:
+    """Vector width needed to carry messages up to ``max_message_bytes``.
+
+    Every participant in a message shuffle must submit the same width, or
+    vector sizes would distinguish submitters.
+    """
+    capacity = group.message_bytes
+    framed = 2 + max_message_bytes  # 2-byte length prefix
+    return max(1, (framed + capacity - 1) // capacity)
+
+
+def prepare_message_input(
+    server_publics: Sequence[PublicKey],
+    message: bytes,
+    width: int,
+    rng: random.Random | None = None,
+) -> CipherVector:
+    """Embed ``message`` into a fixed-width vector of layered ciphertexts.
+
+    Framing: 2-byte big-endian length, then the message, zero-padded to
+    fill ``width`` group elements.  An empty message (the cover traffic
+    non-accusers submit to an accusation shuffle) is length 0.
+    """
+    group = server_publics[0].group
+    capacity = group.message_bytes
+    framed = len(message).to_bytes(2, "big") + message
+    if len(framed) > width * capacity:
+        raise ShuffleError(
+            f"message of {len(message)} bytes exceeds shuffle width {width}"
+        )
+    framed = framed.ljust(width * capacity, b"\x00")
+    vector: list[Ciphertext] = []
+    for w in range(width):
+        chunk = framed[w * capacity : (w + 1) * capacity]
+        element = group.encode_message(chunk)
+        r = group.random_scalar(rng)
+        vector.append(elgamal.encrypt_layered(server_publics, element, r))
+    return tuple(vector)
+
+
+def decode_message_output(group: SchnorrGroup, elements: Sequence[int]) -> bytes:
+    """Invert :func:`prepare_message_input` on one shuffled output vector."""
+    framed = b"".join(group.decode_message(element) for element in elements)
+    if len(framed) < 2:
+        raise ShuffleError("shuffled message too short for its length prefix")
+    length = int.from_bytes(framed[:2], "big")
+    if length > len(framed) - 2:
+        raise ShuffleError("shuffled message length prefix exceeds content")
+    return framed[2 : 2 + length]

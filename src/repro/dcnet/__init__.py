@@ -1,0 +1,12 @@
+"""Baseline DC-net designs the paper compares against.
+
+* :mod:`repro.dcnet.classic` — Chaum's all-pairs DC-net: O(N) compute per
+  bit, O(N²) communication, restart-on-churn.
+* :mod:`repro.dcnet.leader` — Herbivore-style leader aggregation: O(N)
+  messages but no disruptor tracing (re-form to recover).
+"""
+
+from repro.dcnet.classic import ClassicDcNet, ClassicDcNetMember, CostCounters
+from repro.dcnet.leader import LeaderDcNet
+
+__all__ = ["ClassicDcNet", "ClassicDcNetMember", "CostCounters", "LeaderDcNet"]

@@ -1,0 +1,103 @@
+"""Herbivore-style leader-aggregated DC-net [35, 49].
+
+Herbivore reduces broadcast cost by electing one member to collect and
+combine everyone's ciphertexts ("a single node collects and combines
+ciphertexts for efficiency", §3.1).  Coin sharing is still all-pairs, so
+computation stays O(N) per bit and churn still forces restarts — but
+communication becomes O(N) messages per round.
+
+The paper's criticism, which our accusation tests make concrete: "this
+leader-centric design offers no reliable way to identify anonymous
+disruptors without re-forming the group".  Accordingly this baseline
+exposes *no* tracing interface — a disruptor can only be handled by
+re-forming (``reform_without``), the operation Dissent's §3.9 avoids.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dcnet.classic import ClassicDcNetMember, CostCounters
+from repro.crypto.keys import PrivateKey
+from repro.errors import ProtocolError
+from repro.util.bytesops import xor_many
+
+
+class LeaderDcNet:
+    """All-pairs coins, star-topology collection through a leader."""
+
+    def __init__(self, num_members: int, group=None, seed: int = 0, leader: int = 0) -> None:
+        from repro.crypto.groups import testing_group
+
+        self.group = group or testing_group()
+        rng = random.Random(seed)
+        keys = [PrivateKey.generate(self.group, rng) for _ in range(num_members)]
+        publics = [key.public for key in keys]
+        self.members = [
+            ClassicDcNetMember(i, key, publics, random.Random(seed + 1 + i))
+            for i, key in enumerate(keys)
+        ]
+        self.num_members = num_members
+        if not 0 <= leader < num_members:
+            raise ProtocolError("leader index out of range")
+        self.leader = leader
+        self.leader_counters = CostCounters()
+
+    def run_round(
+        self,
+        round_number: int,
+        length: int,
+        sender: int | None = None,
+        message: bytes | None = None,
+        disruptor: int | None = None,
+    ) -> bytes:
+        """One round: members unicast to the leader, leader broadcasts.
+
+        Args:
+            disruptor: member that XORs garbage over its ciphertext; the
+                output is corrupted and — unlike Dissent — nothing in the
+                protocol identifies who did it.
+        """
+        active = set(range(self.num_members))
+        ciphertexts = []
+        for i in sorted(active):
+            msg = message if i == sender else None
+            member = self.members[i]
+            ciphertext = member.ciphertext(round_number, length, active, msg)
+            # Correct the broadcast accounting: members unicast to the
+            # leader only (the classic member assumed full fan-out).
+            member.counters.messages_sent -= len(active) - 2
+            member.counters.bytes_sent -= (len(active) - 2) * length
+            if i == disruptor:
+                garbage = bytes(
+                    member.rng.getrandbits(8) for _ in range(length)
+                )
+                ciphertext = xor_many([ciphertext, garbage], length=length)
+            ciphertexts.append(ciphertext)
+        cleartext = xor_many(ciphertexts, length=length)
+        # Leader broadcasts the combined output to everyone else.
+        self.leader_counters.messages_sent += self.num_members - 1
+        self.leader_counters.bytes_sent += (self.num_members - 1) * length
+        return cleartext
+
+    def reform_without(self, excluded: set[int]) -> "LeaderDcNet":
+        """The only disruptor remedy Herbivore-style groups have.
+
+        Builds a brand-new group (fresh keys, fresh pairwise secrets) for
+        the surviving members — the expensive operation Dissent's
+        accusation mechanism exists to avoid.
+        """
+        survivors = [i for i in range(self.num_members) if i not in excluded]
+        if len(survivors) < 2:
+            raise ProtocolError("cannot re-form with fewer than two members")
+        return LeaderDcNet(len(survivors), self.group, seed=self.num_members)
+
+
+def analytic_costs(num_members: int, round_bytes: int) -> CostCounters:
+    """Closed-form per-round communication of the leader design."""
+    counters = CostCounters()
+    counters.prng_bytes = num_members * (num_members - 1) * round_bytes
+    # N-1 unicasts in, N-1 broadcasts out.
+    counters.messages_sent = 2 * (num_members - 1)
+    counters.bytes_sent = counters.messages_sent * round_bytes
+    return counters

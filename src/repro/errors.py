@@ -1,0 +1,65 @@
+"""Exception hierarchy for the Dissent reproduction.
+
+Every error raised by the library derives from :class:`DissentError`, so
+applications can catch one base class.  Sub-hierarchies mirror the
+subsystems: cryptography, protocol state machines, the verifiable shuffle,
+and the accusation (blame) process.
+"""
+
+from __future__ import annotations
+
+
+class DissentError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(DissentError):
+    """A group definition or policy parameter is invalid."""
+
+
+class CryptoError(DissentError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidSignature(CryptoError):
+    """A message signature failed verification."""
+
+
+class InvalidProof(CryptoError):
+    """A zero-knowledge proof failed verification."""
+
+
+class InvalidCiphertext(CryptoError):
+    """An ElGamal ciphertext is malformed or not a group element."""
+
+
+class PaddingError(CryptoError):
+    """Randomized message padding failed to decode."""
+
+
+class ProtocolError(DissentError):
+    """A node received a message violating the protocol state machine."""
+
+
+class CommitmentMismatch(ProtocolError):
+    """A server's revealed ciphertext does not match its commitment."""
+
+
+class RoundFailed(ProtocolError):
+    """A round was abandoned (hard timeout / insufficient participation)."""
+
+
+class ShuffleError(DissentError):
+    """The verifiable shuffle aborted or produced an invalid transcript."""
+
+
+class AccusationError(DissentError):
+    """The blame process could not run (malformed or unverifiable input)."""
+
+
+class TraceInconclusive(AccusationError):
+    """Tracing finished without identifying a disruptor.
+
+    With honest servers this only happens when the accusation itself was
+    bogus (no actual bit flip at the named position).
+    """

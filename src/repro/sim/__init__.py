@@ -1,0 +1,63 @@
+"""Discrete-event simulation substrate for paper-scale experiments.
+
+Replaces the paper's DeterLab/PlanetLab/Emulab testbeds: an event engine,
+link/topology models for the three testbed configurations, heavy-tailed
+churn and straggler models, a synthetic 24-hour PlanetLab-style trace, a
+calibrated crypto cost model, and the round/protocol timing simulators the
+figure benchmarks drive.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.network import (
+    LinkSpec,
+    Topology,
+    deterlab_topology,
+    emulab_wifi_topology,
+    planetlab_topology,
+)
+from repro.sim.churn import LanJitterModel, SessionChurnModel, StragglerModel
+from repro.sim.trace import (
+    PolicyReplayStats,
+    RoundTrace,
+    TraceConfig,
+    generate_trace,
+    replay_policy,
+)
+from repro.sim.roundsim import (
+    ProtocolStageTimes,
+    RoundSimConfig,
+    RoundTiming,
+    Workload,
+    mean_timing,
+    simulate_full_protocol,
+    simulate_round,
+    simulate_rounds,
+)
+
+__all__ = [
+    "Simulator",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "LinkSpec",
+    "Topology",
+    "deterlab_topology",
+    "emulab_wifi_topology",
+    "planetlab_topology",
+    "LanJitterModel",
+    "SessionChurnModel",
+    "StragglerModel",
+    "PolicyReplayStats",
+    "RoundTrace",
+    "TraceConfig",
+    "generate_trace",
+    "replay_policy",
+    "ProtocolStageTimes",
+    "RoundSimConfig",
+    "RoundTiming",
+    "Workload",
+    "mean_timing",
+    "simulate_full_protocol",
+    "simulate_round",
+    "simulate_rounds",
+]

@@ -1,0 +1,109 @@
+"""Client submission-delay and churn models (paper §5.1).
+
+On public networks "distributed systems must cope with slow and unreliable
+machines"; the paper's 24-hour PlanetLab deployment showed a bulk of
+fast-submitting clients plus a heavy tail of stragglers and a trickle of
+clients that silently disappear mid-round.  These models generate the
+per-round delay profiles the Figure 6 policy study and the Figure 7/8
+round simulations consume.
+
+Delays are measured from round start (previous output receipt) to the
+client's ciphertext arriving at its server, *excluding* deterministic
+compute/transfer time — the round simulator adds those separately.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StragglerModel:
+    """Heavy-tailed per-client submission jitter.
+
+    The bulk of clients draw lognormal jitter (median
+    ``exp(log_median)``); with probability ``straggler_prob`` a client is
+    a straggler uniform in ``[straggler_min, straggler_max]`` seconds; with
+    probability ``offline_prob`` it never submits this round
+    (``math.inf``).
+
+    Defaults are tuned so a ~500-client round under the paper's baseline
+    120 s policy reproduces §5.1's statistics: roughly half of rounds are
+    delayed by an order of magnitude by their slowest member, and ~15%
+    wait out the full hard deadline.
+    """
+
+    log_median: float = math.log(0.35)
+    log_sigma: float = 0.45
+    straggler_prob: float = 0.0016
+    straggler_min: float = 5.0
+    straggler_max: float = 110.0
+    offline_prob: float = 0.0004
+
+    def sample_delay(self, rng: random.Random) -> float:
+        """One client's submission delay for one round."""
+        u = rng.random()
+        if u < self.offline_prob:
+            return math.inf
+        if u < self.offline_prob + self.straggler_prob:
+            return rng.uniform(self.straggler_min, self.straggler_max)
+        return rng.lognormvariate(self.log_median, self.log_sigma)
+
+    def sample_round(self, num_clients: int, rng: random.Random) -> list[float]:
+        """Delay profile for one whole round."""
+        return [self.sample_delay(rng) for _ in range(num_clients)]
+
+
+@dataclass(frozen=True)
+class LanJitterModel:
+    """Tight jitter for controlled testbeds (DeterLab / Emulab)."""
+
+    base_s: float = 0.005
+    jitter_s: float = 0.010
+
+    def sample_round(self, num_clients: int, rng: random.Random) -> list[float]:
+        return [
+            self.base_s + rng.random() * self.jitter_s for _ in range(num_clients)
+        ]
+
+
+@dataclass(frozen=True)
+class SessionChurnModel:
+    """Round-to-round online-population dynamics for long traces.
+
+    Clients alternate between online sessions and offline gaps with
+    geometric durations (means in rounds), the standard memoryless churn
+    model.  A diurnal modulation scales the join rate to mimic the
+    24-hour PlanetLab population swing.
+    """
+
+    mean_session_rounds: float = 600.0
+    mean_offline_rounds: float = 200.0
+    diurnal_amplitude: float = 0.2
+
+    def leave_probability(self) -> float:
+        return 1.0 / self.mean_session_rounds
+
+    def join_probability(self, phase: float) -> float:
+        """Phase in [0, 1) through the simulated day."""
+        diurnal = 1.0 + self.diurnal_amplitude * math.sin(2 * math.pi * phase)
+        return min(1.0, diurnal / self.mean_offline_rounds)
+
+    def step(
+        self,
+        online: list[bool],
+        phase: float,
+        rng: random.Random,
+    ) -> list[bool]:
+        """Advance every client's online state by one round."""
+        p_leave = self.leave_probability()
+        p_join = self.join_probability(phase)
+        result = []
+        for is_online in online:
+            if is_online:
+                result.append(rng.random() >= p_leave)
+            else:
+                result.append(rng.random() < p_join)
+        return result

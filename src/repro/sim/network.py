@@ -1,0 +1,121 @@
+"""Network topology models for the paper's three testbeds.
+
+Each model answers one question: how long does a transfer of B bytes take
+over a given edge?  Links have a propagation latency and a bandwidth, and
+client populations **share** their uplink to a common server (the paper's
+DeterLab topology: "clients shared a 100 Mbps uplink with 50 ms latency to
+their common server"), which is what makes the 128 KB data-sharing rounds
+bandwidth-dominated at scale.
+
+Factory functions reproduce the paper's three configurations:
+
+* :func:`deterlab_topology` — §5.2: servers on a 100 Mbps / 10 ms switch,
+  clients behind shared 100 Mbps / 50 ms uplinks.
+* :func:`planetlab_topology` — §5.2: 16 EC2 US-East servers + one at Yale
+  (~14 ms RTT), clients on the public Internet with heterogeneous latency.
+* :func:`emulab_wifi_topology` — §5.4: every node on a 24 Mbps / 10 ms
+  link to a central switch, modelling a local WiFi network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directional link: fixed latency plus serialization delay."""
+
+    latency_s: float
+    bandwidth_bps: float
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Latency + serialization for one message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        return self.latency_s + 8.0 * nbytes / self.bandwidth_bps
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Bandwidth term only (for aggregating shared-link transfers)."""
+        return 8.0 * nbytes / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Client/server two-level hierarchy with shared client uplinks.
+
+    Attributes:
+        client_uplink: link from a client population to its server; its
+            bandwidth is shared by all clients attached to that server.
+        client_downlink: server → its clients (also shared).
+        server_link: server ↔ server mesh link.
+        name: label for reports.
+    """
+
+    name: str
+    client_uplink: LinkSpec
+    client_downlink: LinkSpec
+    server_link: LinkSpec
+
+    def clients_to_server_time(self, nclients: int, nbytes_each: int) -> float:
+        """All of one server's clients upload through the shared uplink."""
+        serialization = nclients * self.client_uplink.serialization_time(nbytes_each)
+        return self.client_uplink.latency_s + serialization
+
+    def server_to_clients_time(self, nclients: int, nbytes_each: int) -> float:
+        """Server fans a round output down its shared downlink."""
+        serialization = nclients * self.client_downlink.serialization_time(
+            nbytes_each
+        )
+        return self.client_downlink.latency_s + serialization
+
+    def server_broadcast_time(self, nservers: int, nbytes: int) -> float:
+        """One server sends ``nbytes`` to every other server.
+
+        Transfers to distinct peers serialize on the sender's uplink but
+        propagate in parallel, so: one latency + (M-1) serializations.
+        """
+        if nservers <= 1:
+            return 0.0
+        serialization = (nservers - 1) * self.server_link.serialization_time(nbytes)
+        return self.server_link.latency_s + serialization
+
+    def server_exchange_time(self, nservers: int, nbytes: int) -> float:
+        """All-to-all exchange of equal-size blobs among the servers."""
+        return self.server_broadcast_time(nservers, nbytes)
+
+
+def deterlab_topology() -> Topology:
+    """The paper's DeterLab configuration (§5.2)."""
+    return Topology(
+        name="deterlab",
+        client_uplink=LinkSpec(latency_s=0.050, bandwidth_bps=100e6),
+        client_downlink=LinkSpec(latency_s=0.050, bandwidth_bps=100e6),
+        server_link=LinkSpec(latency_s=0.010, bandwidth_bps=100e6),
+    )
+
+
+def planetlab_topology() -> Topology:
+    """The paper's PlanetLab/EC2 configuration (§5.2).
+
+    Servers are clustered (EC2 US-East + Yale, ~14 ms RTT → 7 ms one-way);
+    clients reach their server over the public Internet — higher latency,
+    lower effective shared bandwidth.
+    """
+    return Topology(
+        name="planetlab",
+        client_uplink=LinkSpec(latency_s=0.080, bandwidth_bps=50e6),
+        client_downlink=LinkSpec(latency_s=0.080, bandwidth_bps=50e6),
+        server_link=LinkSpec(latency_s=0.007, bandwidth_bps=300e6),
+    )
+
+
+def emulab_wifi_topology() -> Topology:
+    """The paper's Emulab local-area WiFi configuration (§5.4)."""
+    wifi = LinkSpec(latency_s=0.010, bandwidth_bps=24e6)
+    return Topology(
+        name="emulab-wifi",
+        client_uplink=wifi,
+        client_downlink=wifi,
+        server_link=wifi,
+    )

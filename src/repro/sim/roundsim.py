@@ -1,0 +1,300 @@
+"""Simulated-time DC-net rounds at paper scale (Figures 7, 8, 9).
+
+This module replays the timing structure of Algorithms 1 and 2 — client
+compute → shared-uplink transfer → submission window → inventory →
+server compute → commit → reveal → certify → output fan-out — using the
+discrete-event engine for the submission window and analytic phase models
+(topology + cost model) for the server pipeline.
+
+The paper's DeterLab runs put up to 5,120 client processes behind 32
+servers; real crypto in Python cannot reach that in wall-clock, but the
+timing model only needs byte counts and operation counts, both of which
+come from the *real* layout arithmetic in :mod:`repro.core.schedule` — so
+simulated rounds are exactly as large as real ones would be.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.core.policy import WindowPolicy, FractionMultiplierPolicy
+from repro.core.schedule import open_slot_bytes
+from repro.sim.churn import LanJitterModel
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import Simulator
+from repro.sim.network import Topology, deterlab_topology
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Which slots are open and how big, per round.
+
+    The paper's two §5.2 scenarios:
+
+    * microblog — "a random 1% of all clients submit 128-byte messages
+      during any particular round";
+    * data sharing — "one client transmits a 128 KB message per round".
+    """
+
+    name: str
+    open_slot_payloads: tuple[int, ...]
+
+    @classmethod
+    def microblog(cls, num_clients: int, fraction: float = 0.01, message_bytes: int = 128) -> "Workload":
+        senders = max(1, round(fraction * num_clients))
+        return cls("microblog", tuple([message_bytes] * senders))
+
+    @classmethod
+    def data_sharing(cls, message_bytes: int = 128 * 1024) -> "Workload":
+        return cls("data-sharing", (message_bytes,))
+
+    def round_bytes(self, num_clients: int) -> int:
+        """Exact round vector size under the real slot layout rules."""
+        request_region = (num_clients + 7) // 8
+        return request_region + sum(
+            open_slot_bytes(payload) for payload in self.open_slot_payloads
+        )
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """One simulated round's timing decomposition (Figure 7/8 series)."""
+
+    client_submission: float  # window-close time: paper's "Client submission"
+    server_processing: float  # everything after the window: "Server processing"
+    included_clients: int
+    round_bytes: int
+
+    @property
+    def total(self) -> float:
+        return self.client_submission + self.server_processing
+
+
+@dataclass
+class RoundSimConfig:
+    """Inputs for one simulated round."""
+
+    num_clients: int
+    num_servers: int
+    workload: Workload
+    topology: Topology = field(default_factory=deterlab_topology)
+    cost: CostModel = DEFAULT_COST_MODEL
+    policy: WindowPolicy = field(default_factory=FractionMultiplierPolicy)
+    jitter: object = field(default_factory=LanJitterModel)
+    #: Whether the server LAN is a shared medium (the paper's DeterLab
+    #: servers "shared a common 100 Mbps network"), which makes all-to-all
+    #: reveal traffic scale with M*(M-1) rather than M-1.
+    shared_server_medium: bool = True
+    #: Physical client machines available.  The paper multiplexed up to 16
+    #: client processes per DeterLab machine (320 machines hosting 5,120
+    #: clients); colocated processes contend for the CPU, slowing each
+    #: client's per-round compute proportionally.  None = one per machine.
+    client_machines: int | None = None
+
+
+def _server_exchange_time(config: RoundSimConfig, nbytes: int) -> float:
+    """All-to-all exchange among servers of equal-size blobs."""
+    topo = config.topology
+    m = config.num_servers
+    if m <= 1:
+        return 0.0
+    if config.shared_server_medium:
+        total_bytes = m * (m - 1) * nbytes
+        return topo.server_link.latency_s + 8.0 * total_bytes / topo.server_link.bandwidth_bps
+    return topo.server_exchange_time(m, nbytes)
+
+
+def simulate_round(config: RoundSimConfig, rng: random.Random) -> RoundTiming:
+    """Simulate one DC-net round and decompose its latency.
+
+    The client-submission phase runs on the event engine: every client's
+    arrival is an event (compute + queued shared-uplink transfer + jitter),
+    and the window policy closes on the resulting arrival profile.  The
+    server pipeline after the window is charged analytically per phase.
+    """
+    n, m = config.num_clients, config.num_servers
+    round_bytes = config.workload.round_bytes(n)
+    topo = config.topology
+    cost = config.cost
+
+    # --- phase 1: client submissions (event-driven) ---------------------
+    sim = Simulator()
+    arrivals: list[float] = []
+    contention = 1.0
+    if config.client_machines is not None:
+        contention = max(1.0, n / config.client_machines)
+    turnaround = cost.turnaround_base_seconds + cost.turnaround_per_process_seconds * (
+        contention - 1.0
+    )
+    compute = turnaround + contention * cost.client_submission_compute(round_bytes, m)
+    jitters = config.jitter.sample_round(n, rng)
+    per_server = [0] * m
+    serialization = topo.client_uplink.serialization_time(round_bytes)
+    for i in range(n):
+        server = i % m
+        # Clients behind one server serialize on their shared uplink; the
+        # queue position sets each one's serialization delay.
+        queue_rank = per_server[server]
+        per_server[server] += 1
+        arrival_delay = (
+            jitters[i]
+            + compute
+            + topo.client_uplink.latency_s
+            + (queue_rank + 1) * serialization
+        )
+        if math.isinf(arrival_delay):
+            arrivals.append(math.inf)
+            continue
+        sim.schedule(arrival_delay, lambda t=arrival_delay: arrivals.append(t))
+    sim.run()
+    finite = [a for a in arrivals if not math.isinf(a)]
+    all_delays = finite + [math.inf] * (n - len(finite))
+    outcome = config.policy.evaluate(all_delays, n)
+    client_submission = outcome.close_time
+    included = outcome.included_count
+
+    # --- phase 2: server pipeline (analytic) ----------------------------
+    # Inventory: client-id lists, ~4 bytes per directly-attached client.
+    inventory_bytes = 4 * max(1, included // max(1, m))
+    t_inventory = _server_exchange_time(config, inventory_bytes)
+    # Stream generation + combining for every included client.
+    t_compute = cost.server_round_compute(round_bytes, included)
+    # Commit exchange (32-byte digests), reveal exchange (full blobs).
+    t_commit = _server_exchange_time(config, 32)
+    t_reveal = _server_exchange_time(config, round_bytes)
+    # Certification: one signature + signature exchange.
+    t_certify = cost.sign_seconds + _server_exchange_time(config, 64)
+    # Output fan-out to each server's attached clients + client verify
+    # (verification contends with colocated client processes too).
+    t_output = topo.server_to_clients_time(
+        max(1, included // max(1, m)), round_bytes
+    ) + contention * cost.client_output_verify(round_bytes, m)
+
+    server_processing = (
+        t_inventory + t_compute + t_commit + t_reveal + t_certify + t_output
+    )
+    return RoundTiming(
+        client_submission=client_submission,
+        server_processing=server_processing,
+        included_clients=included,
+        round_bytes=round_bytes,
+    )
+
+
+def simulate_rounds(
+    config: RoundSimConfig, rounds: int, seed: int = 0
+) -> list[RoundTiming]:
+    """Simulate several i.i.d. rounds (jitter resampled each time)."""
+    rng = random.Random(seed)
+    return [simulate_round(config, rng) for _ in range(rounds)]
+
+
+def mean_timing(timings: list[RoundTiming]) -> RoundTiming:
+    """Average decomposition across rounds."""
+    k = len(timings)
+    if k == 0:
+        raise ValueError("no timings to average")
+    return RoundTiming(
+        client_submission=sum(t.client_submission for t in timings) / k,
+        server_processing=sum(t.server_processing for t in timings) / k,
+        included_clients=round(sum(t.included_clients for t in timings) / k),
+        round_bytes=timings[0].round_bytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full-protocol stage model (Figure 9)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolStageTimes:
+    """Durations of the four stages §5.3 measures."""
+
+    key_shuffle: float
+    dcnet_round: float
+    blame_shuffle: float
+    blame_evaluation: float
+
+
+def simulate_full_protocol(
+    num_clients: int,
+    num_servers: int,
+    message_bytes: int = 128,
+    topology: Topology | None = None,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    soundness_bits: int = 64,
+    seed: int = 0,
+) -> ProtocolStageTimes:
+    """Model one full protocol execution (§5.3, Figure 9).
+
+    Stages:
+
+    * **key shuffle** — serial mix cascade over N width-1 key vectors in
+      the cheap key group, plus cascade network transfers;
+    * **DC-net round** — one microblog-style exchange;
+    * **blame shuffle** — the same cascade over embedded accusation
+      messages in the expensive embedding group;
+    * **blame evaluation** — per-pair PRNG bit disclosure, evidence
+      signature checks, and rebuttal verification.
+    """
+    topo = topology or deterlab_topology()
+    rng = random.Random(seed)
+
+    key_element_bytes = 2 * 32  # compact key-shuffle group ciphertexts
+    msg_element_bytes = 2 * 256  # 2048-bit embedding group ciphertexts
+
+    def cascade_network(element_bytes: int) -> float:
+        # Each cascade turn forwards all N vectors to the next server and
+        # broadcasts the step transcript (≈ soundness_bits bridges) for
+        # verification.
+        per_turn = topo.server_link.transfer_time(
+            num_clients * element_bytes
+        ) + topo.server_broadcast_time(
+            num_servers, num_clients * element_bytes * (soundness_bits + 1)
+        )
+        return num_servers * per_turn
+
+    key_shuffle = (
+        cost.key_shuffle_time(num_clients, num_servers, soundness_bits)
+        + cascade_network(key_element_bytes)
+        # Clients submit their encrypted pseudonym keys first.
+        + topo.clients_to_server_time(
+            max(1, num_clients // num_servers), key_element_bytes
+        )
+    )
+
+    workload = Workload.microblog(num_clients, message_bytes=message_bytes)
+    config = RoundSimConfig(
+        num_clients=num_clients,
+        num_servers=num_servers,
+        workload=workload,
+        topology=topo,
+        cost=cost,
+    )
+    dcnet_round = simulate_round(config, rng).total
+
+    blame_shuffle = (
+        cost.message_shuffle_time(num_clients, num_servers, 1, soundness_bits)
+        + cascade_network(msg_element_bytes)
+        + topo.clients_to_server_time(
+            max(1, num_clients // num_servers), msg_element_bytes
+        )
+    )
+
+    round_bytes = workload.round_bytes(num_clients)
+    evidence_exchange = _server_exchange_time(
+        config, num_clients * round_bytes // max(1, num_servers)
+    )
+    blame_evaluation = (
+        cost.blame_evaluation_time(num_clients, num_servers) + evidence_exchange
+    )
+
+    return ProtocolStageTimes(
+        key_shuffle=key_shuffle,
+        dcnet_round=dcnet_round,
+        blame_shuffle=blame_shuffle,
+        blame_evaluation=blame_evaluation,
+    )

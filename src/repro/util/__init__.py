@@ -1,0 +1,37 @@
+"""Shared low-level utilities: byte/bit operations and canonical encoding."""
+
+from repro.util.bytesops import (
+    xor_bytes,
+    xor_many,
+    get_bit,
+    set_bit,
+    flip_bit,
+    bit_length_to_bytes,
+    zero_bytes,
+    hamming_weight,
+    first_difference,
+)
+from repro.util.serialization import (
+    encode_int,
+    decode_int,
+    pack_fields,
+    unpack_fields,
+    canonical_json,
+)
+
+__all__ = [
+    "xor_bytes",
+    "xor_many",
+    "get_bit",
+    "set_bit",
+    "flip_bit",
+    "bit_length_to_bytes",
+    "zero_bytes",
+    "hamming_weight",
+    "first_difference",
+    "encode_int",
+    "decode_int",
+    "pack_fields",
+    "unpack_fields",
+    "canonical_json",
+]

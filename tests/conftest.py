@@ -1,0 +1,41 @@
+"""Shared fixtures: small real-crypto groups and sessions."""
+
+import random
+
+import pytest
+
+from repro.core import DissentSession
+from repro.crypto import PrivateKey, testing_group, tiny_group
+
+
+@pytest.fixture(scope="session")
+def group():
+    return testing_group()
+
+
+@pytest.fixture(scope="session")
+def tiny():
+    return tiny_group()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xD15537)
+
+
+@pytest.fixture
+def keypair(group, rng):
+    return PrivateKey.generate(group, rng)
+
+
+@pytest.fixture(scope="module")
+def small_session():
+    """A scheduled 3-server/6-client session shared within a module.
+
+    Module-scoped because the key shuffle costs a few hundred ms; tests
+    that mutate session state build their own.
+    """
+    session = DissentSession.build(num_servers=3, num_clients=6, seed=101)
+    session.setup()
+    return session
+

@@ -1,0 +1,12 @@
+"""Shared test helpers importable as ``tests.helpers``."""
+
+from repro.core import DissentSession
+
+
+def fresh_session(num_servers=3, num_clients=5, seed=7, policy=None):
+    """A freshly scheduled real-crypto session for mutation-heavy tests."""
+    session = DissentSession.build(
+        num_servers=num_servers, num_clients=num_clients, seed=seed, policy=policy
+    )
+    session.setup()
+    return session

@@ -1,0 +1,77 @@
+"""The anytrust anonymity-set property (paper §3.4), via networkx.
+
+Chaum: an honest node's anonymity set is its connected component in the
+secret-sharing graph after dishonest nodes (and their edges) are removed.
+Dissent's client/server graph keeps all honest clients in one component
+iff at least one server is honest.
+"""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+
+def secret_sharing_graph(num_clients, num_servers):
+    """Dissent's bipartite client/server coin graph."""
+    graph = nx.Graph()
+    clients = [f"c{i}" for i in range(num_clients)]
+    servers = [f"s{j}" for j in range(num_servers)]
+    graph.add_nodes_from(clients)
+    graph.add_nodes_from(servers)
+    for c in clients:
+        for s in servers:
+            graph.add_edge(c, s)
+    return graph, clients, servers
+
+
+def honest_component_count(graph, dishonest):
+    """Components among honest nodes after removing dishonest ones."""
+    h = graph.copy()
+    h.remove_nodes_from(dishonest)
+    return nx.number_connected_components(h) if h.nodes else 0
+
+
+class TestAnytrustProperty:
+    def test_one_honest_server_suffices(self):
+        graph, clients, servers = secret_sharing_graph(10, 4)
+        # All servers but one dishonest, plus some dishonest clients.
+        dishonest = servers[1:] + clients[7:]
+        assert honest_component_count(graph, dishonest) == 1
+
+    def test_all_servers_dishonest_isolates_every_client(self):
+        graph, clients, servers = secret_sharing_graph(8, 3)
+        assert honest_component_count(graph, servers) == 8
+
+    def test_every_single_honest_server_choice(self):
+        graph, clients, servers = secret_sharing_graph(6, 5)
+        for honest_server in servers:
+            dishonest = [s for s in servers if s != honest_server]
+            assert honest_component_count(graph, dishonest) == 1
+
+    def test_dishonest_clients_cannot_partition(self):
+        graph, clients, servers = secret_sharing_graph(10, 3)
+        for k in range(1, 9):
+            dishonest = clients[:k]
+            assert honest_component_count(graph, dishonest) == 1
+
+    def test_exhaustive_small_groups(self):
+        graph, clients, servers = secret_sharing_graph(4, 3)
+        for r in range(len(servers) + 1):
+            for bad_servers in itertools.combinations(servers, r):
+                dishonest = list(bad_servers)
+                count = honest_component_count(graph, dishonest)
+                if r < len(servers):
+                    assert count == 1
+                else:
+                    assert count == len(clients)
+
+    def test_classic_allpairs_survives_any_peer_subset(self):
+        # Contrast: the all-pairs graph stays connected as long as >= 2
+        # honest members remain (complete graph) — but at O(N^2) cost.
+        n = 8
+        graph = nx.complete_graph(n)
+        for k in range(n - 1):
+            h = graph.copy()
+            h.remove_nodes_from(range(k))
+            assert nx.number_connected_components(h) == 1

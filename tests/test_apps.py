@@ -1,0 +1,222 @@
+"""Tests for the applications: microblog, file sharing, tunnel, browsing."""
+
+import statistics
+
+import pytest
+
+from tests.helpers import fresh_session
+from repro.apps import (
+    FileSharingApp,
+    IsolationViolation,
+    MicroblogFeed,
+    TorCircuitModel,
+    TunnelEntry,
+    TunnelExit,
+    TunnelRecord,
+    WiNoNEnvironment,
+    browse_corpus,
+    corpus_stats,
+    direct_path,
+    dissent_path,
+    dissent_tor_path,
+    fetch_through_tunnel,
+    file_digest,
+    generate_pages,
+    generate_top100,
+    microblog_workload,
+    seconds_per_megabyte,
+    standard_paths,
+    tor_path,
+)
+from repro.apps.filesharing import FileReceiver, chunk_file
+from repro.core import Policy
+
+
+class TestMicroblog:
+    def test_posts_reach_feed_with_slot_attribution(self):
+        session = fresh_session(seed=61)
+        feed = MicroblogFeed(session)
+        feed.post(1, "hello world")
+        for _ in range(3):
+            feed.run_round()
+        timeline = feed.timeline()
+        assert [p.text for p in timeline] == ["hello world"]
+        assert timeline[0].slot_index == session.clients[1].slot
+        assert timeline[0].author == f"slot-{session.clients[1].slot}"
+
+    def test_posts_linkable_by_pseudonym(self):
+        session = fresh_session(seed=62)
+        feed = MicroblogFeed(session)
+        feed.post(2, "first")
+        for _ in range(3):
+            feed.run_round()
+        feed.post(2, "second")
+        for _ in range(3):
+            feed.run_round()
+        by_author = feed.by_author(session.clients[2].slot)
+        assert [p.text for p in by_author] == ["first", "second"]
+
+    def test_oversize_post_rejected(self):
+        session = fresh_session(seed=63)
+        feed = MicroblogFeed(session)
+        with pytest.raises(ValueError):
+            feed.post(0, "x" * 200)
+
+    def test_workload_generator_fraction(self):
+        rounds = microblog_workload(1000, 50, submit_fraction=0.01, seed=3)
+        counts = [len(r) for r in rounds]
+        assert 1 <= min(counts)
+        assert statistics.mean(counts) == pytest.approx(10, rel=0.5)
+
+    def test_workload_never_empty(self):
+        rounds = microblog_workload(10, 100, submit_fraction=0.01, seed=4)
+        assert all(len(r) >= 1 for r in rounds)
+
+
+class TestFileSharing:
+    def test_chunking_roundtrip(self, rng):
+        data = bytes(range(256)) * 3
+        file_id, chunks = chunk_file(data, 100, rng)
+        receiver = FileReceiver()
+        done = None
+        for chunk in chunks:
+            done = receiver.feed(chunk) or done
+        assert done == file_id
+        assert receiver.completed[file_id] == data
+
+    def test_out_of_order_reassembly(self, rng):
+        data = b"abcdefghij" * 50
+        file_id, chunks = chunk_file(data, 64, rng)
+        receiver = FileReceiver()
+        for chunk in reversed(chunks):
+            receiver.feed(chunk)
+        assert receiver.completed[file_id] == data
+
+    def test_short_garbage_ignored(self):
+        receiver = FileReceiver()
+        assert receiver.feed(b"short") is None
+
+    def test_end_to_end_share(self):
+        session = fresh_session(num_clients=4, seed=64, policy=Policy(alpha=0.0))
+        app = FileSharingApp(session, chunk_payload=512)
+        data = bytes((i * 7) % 256 for i in range(3000))
+        file_id = app.share(0, data)
+        received = app.run_until_complete(file_id, max_rounds=32)
+        assert received == data
+        assert file_digest(received) == file_digest(data)
+        # Every member, including non-senders, holds the file.
+        for receiver in app.receivers:
+            assert receiver.completed[file_id] == data
+
+
+class TestTunnel:
+    def test_record_roundtrip(self):
+        record = TunnelRecord(b"12345678", 0, 0, "example.com:80", b"GET /")
+        parsed = TunnelRecord.decode(record.encode())
+        assert parsed == record
+
+    def test_record_truncation_returns_none(self):
+        record = TunnelRecord(b"12345678", 0, 0, "example.com", b"payload")
+        assert TunnelRecord.decode(record.encode()[:10]) is None
+
+    def test_anonymous_fetch_roundtrip(self):
+        session = fresh_session(num_clients=4, seed=65, policy=Policy(alpha=0.0))
+        served = {}
+
+        def web_server(request: bytes) -> bytes:
+            served["request"] = request
+            return b"<html>response for " + request + b"</html>"
+
+        entry = TunnelEntry(session, client_index=1)
+        exit_node = TunnelExit(session, client_index=3, destinations={"site:80": web_server})
+        response = fetch_through_tunnel(
+            session, entry, exit_node, "site:80", b"GET /index"
+        )
+        assert response == b"<html>response for GET /index</html>"
+        assert served["request"] == b"GET /index"
+
+    def test_unknown_destination_returns_empty(self):
+        session = fresh_session(num_clients=4, seed=66, policy=Policy(alpha=0.0))
+        entry = TunnelEntry(session, 0)
+        exit_node = TunnelExit(session, 2, destinations={})
+        flow = entry.open_flow("nowhere:1", b"req")
+        for _ in range(6):
+            session.run_round()
+            exit_node.pump()
+            entry.poll()
+        assert entry.response(flow) == b""
+
+
+class TestWebModel:
+    def test_deterministic_corpus(self):
+        assert generate_top100(1) == generate_top100(1)
+        assert generate_top100(1) != generate_top100(2)
+
+    def test_corpus_statistics_2012_like(self):
+        stats = corpus_stats(generate_top100())
+        assert 0.4e6 < stats["mean_bytes"] < 1.5e6
+        assert 10 < stats["mean_requests"] < 60
+        assert stats["median_bytes"] < stats["mean_bytes"]  # right-skewed
+
+    def test_page_count(self):
+        assert len(generate_pages(37)) == 37
+
+
+class TestBrowsingPaths:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_top100()
+
+    def test_paper_ordering(self, corpus):
+        times = {p.name: browse_corpus(corpus, p) for p in standard_paths()}
+        means = {name: statistics.mean(t) for name, t in times.items()}
+        assert means["direct"] < means["tor"] < means["dissent+tor"]
+        assert means["direct"] < means["dissent"] < means["dissent+tor"]
+
+    def test_seconds_per_megabyte_magnitudes(self, corpus):
+        for path, low, high in (
+            (direct_path(), 4, 20),
+            (tor_path(), 25, 55),
+            (dissent_path(), 30, 60),
+            (dissent_tor_path(), 40, 75),
+        ):
+            spm = seconds_per_megabyte(corpus, browse_corpus(corpus, path))
+            assert low <= spm <= high, (path.name, spm)
+
+    def test_page_time_monotone_in_size(self):
+        from repro.apps.webmodel import PageProfile
+
+        path = tor_path()
+        small = PageProfile("s", 10_000, (5_000,))
+        large = PageProfile("l", 10_000, (5_000, 400_000))
+        assert path.page_time(large) > path.page_time(small)
+
+    def test_parallelism_reduces_latency_cost(self):
+        from repro.apps.webmodel import PageProfile
+
+        page = PageProfile("p", 10_000, tuple([8_000] * 24))
+        path = tor_path()
+        assert path.page_time(page, parallelism=12) < path.page_time(page, parallelism=2)
+
+    def test_tor_circuit_latency(self):
+        circuit = TorCircuitModel()
+        assert circuit.request_latency() == pytest.approx(2 * 3 * 0.25 + 0.2)
+
+
+class TestWiNoNIsolation:
+    def test_fetch_goes_through_tunnel(self):
+        env = WiNoNEnvironment(dissent_path())
+        page = generate_top100()[0]
+        elapsed = env.fetch(page)
+        assert elapsed > 0
+        assert env.fetch_log == [(page.name, elapsed)]
+
+    def test_direct_socket_blocked(self):
+        env = WiNoNEnvironment(dissent_path())
+        with pytest.raises(IsolationViolation):
+            env.open_direct_socket("tracker.example:443")
+
+    def test_host_state_unreachable(self):
+        env = WiNoNEnvironment(dissent_path())
+        with pytest.raises(IsolationViolation):
+            env.read_host_state("cookies")

@@ -1,0 +1,161 @@
+"""Shape tests for every reproduced figure (fast configurations)."""
+
+import pytest
+
+from repro.bench import ablations, fig6, fig7, fig8, fig9, fig10, fig11
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(num_rounds=600)
+
+    def test_all_policies_present(self, result):
+        assert set(result.series) == {"baseline", "1.1x", "1.2x", "2x"}
+
+    def test_baseline_median_order_of_magnitude_slower(self, result):
+        idx = result.x_values.index("50%")
+        assert result.series["baseline"][idx] > 10 * result.series["1.1x"][idx]
+
+    def test_early_policies_insensitive_to_multiplier(self, result):
+        # Paper: "client submission time is not very sensitive to the
+        # multiplicative constant used".
+        idx = result.x_values.index("50%")
+        assert result.series["2x"][idx] < 3 * result.series["1.1x"][idx]
+
+    def test_miss_rates_within_paper_band(self):
+        rates = fig6.miss_rates(num_rounds=600)
+        assert 0.005 < rates["1.1x"] < 0.06
+        assert rates["2x"] < rates["1.1x"]
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(rounds_per_point=3)
+
+    def test_round_time_grows_with_clients(self, result):
+        for name in ("1%-server(Det)", "128K-server(Det)"):
+            assert result.series[name][-1] > result.series[name][0]
+
+    def test_microblog_subsecond_at_small_scale(self, result):
+        idx = result.x_values.index(32)
+        total = result.series["1%-server(Det)"][idx] + result.series["1%-client(Det)"][idx]
+        assert 0.3 < total < 1.0
+
+    def test_microblog_exceeds_second_past_1000(self, result):
+        idx = result.x_values.index(1000)
+        total = result.series["1%-server(Det)"][idx] + result.series["1%-client(Det)"][idx]
+        assert total > 1.0
+
+    def test_bandwidth_dominates_128k(self, result):
+        # 128K rounds are slower than microblog rounds at every scale.
+        for i in range(len(result.x_values)):
+            share = result.series["128K-server(Det)"][i]
+            micro = result.series["1%-server(Det)"][i]
+            assert share > micro
+
+    def test_planetlab_slower_than_deterlab(self, result):
+        # Compare where the paper's PlanetLab deployment actually ran
+        # (up to 2,000 real nodes, no process multiplexing); at 5,120 the
+        # DeterLab 16-processes-per-machine contention dominates instead.
+        for i, n in enumerate(result.x_values):
+            if n <= 1000:
+                assert (
+                    result.series["1%-client(PL)"][i]
+                    > result.series["1%-client(Det)"][i]
+                )
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run(rounds_per_point=3)
+
+    def test_client_time_falls_with_servers(self, result):
+        assert result.series["128K-client"][-1] < result.series["128K-client"][0]
+        assert result.series["1%-client"][-1] < result.series["1%-client"][0]
+
+    def test_server_time_rises_at_high_server_count(self, result):
+        series = result.series["128K-server"]
+        assert series[-1] > min(series)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run()
+
+    def test_blame_shuffle_over_hour_at_1000(self, result):
+        idx = result.x_values.index(1000)
+        assert result.series["blame-shuffle"][idx] > 3600
+
+    def test_key_shuffle_cheaper_than_blame(self, result):
+        for k, b in zip(result.series["key-shuffle"], result.series["blame-shuffle"]):
+            assert k < b / 5
+
+    def test_dcnet_round_negligible(self, result):
+        for d, k in zip(result.series["dcnet-round"], result.series["key-shuffle"]):
+            assert d < k / 10
+
+    def test_all_stages_grow(self, result):
+        for name, series in result.series.items():
+            assert series[-1] > series[0], name
+
+
+class TestFig10And11:
+    def test_fig10_paper_magnitudes(self):
+        result = fig10.run()
+        spm = {name: series[3] for name, series in result.series.items()}
+        assert spm["direct"] < spm["tor"] < spm["dissent"] < spm["dissent+tor"]
+        assert spm["dissent+tor"] / spm["tor"] < 2.0
+
+    def test_fig11_median_gap(self):
+        result = fig11.run()
+        idx = result.x_values.index("50%")
+        tor = result.series["tor"][idx]
+        both = result.series["dissent+tor"][idx]
+        assert 0 < both - tor < 10
+
+
+class TestAblations:
+    def test_secret_graph(self):
+        result = ablations.secret_graph_ablation()
+        assert len(set(result.series["anytrust"])) == 1
+        assert result.series["all-pairs"][-1] > result.series["all-pairs"][0]
+
+    def test_topology(self):
+        result = ablations.topology_ablation()
+        assert result.series["broadcast(N^2)"][-1] > 1000 * result.series["dissent(N+M^2)"][-1]
+
+    def test_churn_restarts(self):
+        result = ablations.churn_restart_ablation()
+        attempts = dict(zip(result.x_values, result.series["attempts"]))
+        assert attempts["all-pairs"] == 4.0
+        assert attempts["dissent"] == 1.0
+
+
+class TestHarness:
+    def test_table_renders(self):
+        from repro.bench.harness import FigureResult
+
+        result = FigureResult("F", "title", "x", [1, 2])
+        result.add_series("a", [1.0, 2.0])
+        text = result.table()
+        assert "F: title" in text and "a" in text
+
+    def test_series_length_mismatch_rejected(self):
+        from repro.bench.harness import FigureResult
+
+        result = FigureResult("F", "t", "x", [1, 2, 3])
+        with pytest.raises(ValueError):
+            result.add_series("bad", [1.0])
+
+    def test_fmt_seconds(self):
+        from repro.bench.harness import fmt_seconds
+
+        assert fmt_seconds(0.5e-4) == "50us"
+        assert fmt_seconds(0.5) == "500ms"
+        assert fmt_seconds(5) == "5.00s"
+        assert fmt_seconds(600) == "10.0min"
+        assert fmt_seconds(7300) == "2.03h"

@@ -1,0 +1,86 @@
+"""Tests for the classic and leader-based DC-net baselines."""
+
+import pytest
+
+from repro.dcnet import ClassicDcNet, LeaderDcNet
+from repro.dcnet.classic import analytic_costs as classic_costs
+from repro.dcnet.leader import analytic_costs as leader_costs
+from repro.errors import ProtocolError
+
+
+class TestClassicDcNet:
+    def test_xor_cancellation(self):
+        net = ClassicDcNet(5, seed=1)
+        message = b"\xca\xfe\xba\xbe"
+        result = net.run_round(0, 4, sender=2, message=message)
+        assert result.cleartext == message
+        assert result.attempts == 1
+
+    def test_no_sender_yields_zeros(self):
+        net = ClassicDcNet(4, seed=2)
+        result = net.run_round(0, 8)
+        assert result.cleartext == bytes(8)
+
+    def test_drop_forces_restart(self):
+        net = ClassicDcNet(5, seed=3)
+        message = b"\x01\x02"
+        result = net.run_round(0, 2, sender=0, message=message, drop_schedule=[{3}])
+        assert result.attempts == 2
+        assert result.cleartext == message
+        assert 3 not in result.participants
+
+    def test_sequential_drops_restart_each_time(self):
+        net = ClassicDcNet(6, seed=4)
+        result = net.run_round(
+            0, 2, sender=0, message=b"ok", drop_schedule=[{1}, {2}, {3}]
+        )
+        assert result.attempts == 4
+        assert result.cleartext == b"ok"
+
+    def test_sender_drop_rejected(self):
+        net = ClassicDcNet(3, seed=5)
+        with pytest.raises(ProtocolError):
+            net.run_round(0, 1, sender=1, message=b"x", drop_schedule=[{1}])
+
+    def test_per_member_prng_cost_linear_in_n(self):
+        net = ClassicDcNet(6, seed=6)
+        net.run_round(0, 10)
+        # Every member generated 5 streams of 10 bytes.
+        assert net.members[0].counters.prng_bytes == 50
+
+    def test_analytic_costs(self):
+        counters = classic_costs(10, 100)
+        assert counters.prng_bytes == 10 * 9 * 100
+        assert counters.messages_sent == 90
+
+
+class TestLeaderDcNet:
+    def test_xor_cancellation(self):
+        net = LeaderDcNet(4, seed=7)
+        out = net.run_round(0, 3, sender=1, message=b"abc")
+        assert out == b"abc"
+
+    def test_disruptor_corrupts_without_attribution(self):
+        net = LeaderDcNet(4, seed=8)
+        out = net.run_round(0, 4, sender=1, message=b"abcd", disruptor=3)
+        assert out != b"abcd"  # corrupted, and nothing identifies member 3
+
+    def test_reform_is_the_only_remedy(self):
+        net = LeaderDcNet(5, seed=9)
+        reformed = net.reform_without({3})
+        assert reformed.num_members == 4
+        out = reformed.run_round(0, 2, sender=0, message=b"ok")
+        assert out == b"ok"
+
+    def test_reform_too_small_rejected(self):
+        net = LeaderDcNet(3, seed=10)
+        with pytest.raises(ProtocolError):
+            net.reform_without({0, 1})
+
+    def test_leader_message_count_linear(self):
+        counters = leader_costs(10, 64)
+        assert counters.messages_sent == 18  # 2(N-1), not N(N-1)
+
+    def test_bad_leader_index_rejected(self):
+        with pytest.raises(ProtocolError):
+            LeaderDcNet(3, leader=5)

@@ -1,0 +1,118 @@
+"""Unit tests for Schnorr group arithmetic and message embedding."""
+
+import pytest
+
+from repro.crypto import groups as G
+from repro.errors import CryptoError
+
+
+class TestGroupStructure:
+    def test_safe_prime_relation(self):
+        for factory in (G.tiny_group, G.testing_group, G.medium_group):
+            group = factory()
+            assert group.p == 2 * group.q + 1
+
+    def test_generator_in_subgroup(self):
+        for factory in (G.tiny_group, G.testing_group, G.production_group):
+            group = factory()
+            assert group.is_element(group.g)
+
+    def test_generator_has_order_q(self, group):
+        assert group.exp(group.g, group.q) == 1
+        assert group.exp(group.g, 1) == group.g
+
+    def test_toy_flags(self):
+        assert G.testing_group().is_toy
+        assert not G.production_group().is_toy
+        assert not G.wide_group().is_toy
+
+    def test_identity_membership(self, group):
+        assert group.is_element(1)
+
+    def test_non_elements_rejected(self, group):
+        assert not group.is_element(0)
+        assert not group.is_element(group.p)
+        assert not group.is_element(group.p - 1)  # order 2, not in QR subgroup
+
+    def test_require_element_raises(self, group):
+        with pytest.raises(CryptoError):
+            group.require_element(0)
+
+
+class TestArithmetic:
+    def test_exp_mul_consistency(self, group, rng):
+        a, b = group.random_scalar(rng), group.random_scalar(rng)
+        lhs = group.exp(group.g, a + b)
+        rhs = group.mul(group.exp(group.g, a), group.exp(group.g, b))
+        assert lhs == rhs
+
+    def test_inverse(self, group, rng):
+        x = group.random_element(rng)
+        assert group.mul(x, group.inv(x)) == 1
+
+    def test_exp_reduces_mod_q(self, group, rng):
+        e = group.random_scalar(rng)
+        assert group.exp(group.g, e) == group.exp(group.g, e + group.q)
+
+    def test_random_element_in_subgroup(self, group, rng):
+        for _ in range(10):
+            assert group.is_element(group.random_element(rng))
+
+    def test_random_scalar_range(self, group, rng):
+        for _ in range(50):
+            s = group.random_scalar(rng)
+            assert 1 <= s < group.q
+
+
+class TestEncoding:
+    def test_element_bytes_roundtrip(self, group, rng):
+        x = group.random_element(rng)
+        assert group.element_from_bytes(group.element_to_bytes(x)) == x
+
+    def test_wrong_width_rejected(self, group):
+        with pytest.raises(CryptoError):
+            group.element_from_bytes(b"\x01")
+
+    def test_non_element_encoding_rejected(self, group):
+        bad = (group.p - 1).to_bytes(group.element_bytes, "big")
+        with pytest.raises(CryptoError):
+            group.element_from_bytes(bad)
+
+
+class TestMessageEmbedding:
+    def test_roundtrip_max_length(self):
+        group = G.medium_group()
+        message = bytes(range(group.message_bytes))[: group.message_bytes]
+        assert group.decode_message(group.encode_message(message)) == message
+
+    def test_roundtrip_short(self):
+        group = G.medium_group()
+        assert group.decode_message(group.encode_message(b"hi")) == b"hi"
+
+    def test_roundtrip_empty(self):
+        group = G.medium_group()
+        assert group.decode_message(group.encode_message(b"")) == b""
+
+    def test_leading_zeros_preserved(self):
+        group = G.medium_group()
+        message = b"\x00\x00\x01"
+        assert group.decode_message(group.encode_message(message)) == message
+
+    def test_embedded_is_element(self):
+        group = G.medium_group()
+        assert group.is_element(group.encode_message(b"test"))
+
+    def test_too_long_rejected(self):
+        group = G.medium_group()
+        with pytest.raises(CryptoError):
+            group.encode_message(b"x" * (group.message_bytes + 1))
+
+    def test_decode_random_element_usually_fails(self, rng):
+        group = G.medium_group()
+        failures = 0
+        for _ in range(8):
+            try:
+                group.decode_message(group.random_element(rng))
+            except CryptoError:
+                failures += 1
+        assert failures >= 6  # guard byte catches almost everything

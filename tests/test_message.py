@@ -1,0 +1,51 @@
+"""Unit tests for the signed envelope layer."""
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.errors import InvalidSignature, ProtocolError
+from repro.net.message import CLIENT_CIPHERTEXT, SERVER_COMMIT, make_envelope
+
+
+class TestEnvelope:
+    def test_roundtrip_verifies(self, keypair):
+        envelope = make_envelope(
+            keypair, CLIENT_CIPHERTEXT, "client-0", b"gid", 3, b"body"
+        )
+        envelope.verify(keypair.public)
+
+    def test_tampered_body_fails(self, keypair):
+        import dataclasses
+
+        envelope = make_envelope(
+            keypair, CLIENT_CIPHERTEXT, "client-0", b"gid", 3, b"body"
+        )
+        bad = dataclasses.replace(envelope, body=b"evil")
+        with pytest.raises(InvalidSignature):
+            bad.verify(keypair.public)
+
+    def test_tampered_round_fails(self, keypair):
+        import dataclasses
+
+        envelope = make_envelope(keypair, SERVER_COMMIT, "server-1", b"gid", 3, b"c")
+        bad = dataclasses.replace(envelope, round_number=4)
+        with pytest.raises(InvalidSignature):
+            bad.verify(keypair.public)
+
+    def test_tampered_sender_fails(self, keypair):
+        import dataclasses
+
+        envelope = make_envelope(keypair, SERVER_COMMIT, "server-1", b"gid", 3, b"c")
+        bad = dataclasses.replace(envelope, sender="server-2")
+        with pytest.raises(InvalidSignature):
+            bad.verify(keypair.public)
+
+    def test_wrong_key_fails(self, group, keypair, rng):
+        other = PrivateKey.generate(group, rng)
+        envelope = make_envelope(keypair, SERVER_COMMIT, "server-1", b"gid", 0, b"c")
+        with pytest.raises(InvalidSignature):
+            envelope.verify(other.public)
+
+    def test_unknown_type_rejected(self, keypair):
+        with pytest.raises(ProtocolError):
+            make_envelope(keypair, "bogus-type", "x", b"gid", 0, b"")

@@ -1,0 +1,94 @@
+"""Unit tests for window-closure policies and the alpha floor."""
+
+import math
+
+import pytest
+
+from repro.core.policy import (
+    FractionMultiplierPolicy,
+    ParticipationTracker,
+    WaitForAllPolicy,
+)
+
+
+class TestWaitForAll:
+    def test_waits_for_slowest(self):
+        policy = WaitForAllPolicy(hard_deadline=120.0)
+        assert policy.close_time([1.0, 2.0, 50.0], 3) == 50.0
+
+    def test_hard_deadline_on_missing_client(self):
+        policy = WaitForAllPolicy(hard_deadline=120.0)
+        assert policy.close_time([1.0, math.inf], 2) == 120.0
+
+    def test_hard_deadline_caps_straggler(self):
+        policy = WaitForAllPolicy(hard_deadline=120.0)
+        assert policy.close_time([1.0, 300.0], 2) == 120.0
+
+    def test_evaluate_includes_all_on_time(self):
+        policy = WaitForAllPolicy(hard_deadline=120.0)
+        outcome = policy.evaluate([0.5, 1.0, 2.0])
+        assert outcome.included == (0, 1, 2)
+        assert outcome.missed == ()
+
+
+class TestFractionMultiplier:
+    def test_closes_at_multiplied_t95(self):
+        policy = FractionMultiplierPolicy(0.5, 2.0, 120.0)
+        # t_50% over 4 clients = 2nd arrival = 2.0; close at 4.0.
+        assert policy.close_time([1.0, 2.0, 5.0, 9.0], 4) == 4.0
+
+    def test_miss_accounting(self):
+        policy = FractionMultiplierPolicy(0.5, 2.0, 120.0)
+        outcome = policy.evaluate([1.0, 2.0, 5.0, 9.0])
+        assert outcome.included == (0, 1)
+        assert outcome.missed == (2, 3)
+        assert outcome.miss_fraction == 0.5
+
+    def test_offline_clients_not_counted_missed(self):
+        policy = FractionMultiplierPolicy(0.5, 2.0, 120.0)
+        outcome = policy.evaluate([1.0, 2.0, math.inf, math.inf])
+        assert outcome.missed == ()
+
+    def test_falls_back_to_deadline_without_quorum(self):
+        policy = FractionMultiplierPolicy(0.95, 1.1, 120.0)
+        delays = [1.0, math.inf, math.inf, math.inf]
+        assert policy.close_time(delays, 4) == 120.0
+
+    def test_monotone_in_multiplier(self):
+        delays = [float(i) for i in range(1, 21)]
+        t11 = FractionMultiplierPolicy(0.95, 1.1).close_time(delays, 20)
+        t20 = FractionMultiplierPolicy(0.95, 2.0).close_time(delays, 20)
+        assert t11 < t20
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            FractionMultiplierPolicy(fraction=0.0)
+        with pytest.raises(ValueError):
+            FractionMultiplierPolicy(multiplier=0.5)
+
+    def test_deadline_caps_close_time(self):
+        policy = FractionMultiplierPolicy(0.5, 2.0, hard_deadline=3.0)
+        assert policy.close_time([1.0, 2.0, 2.5, 2.6], 4) == 3.0
+
+
+class TestParticipationTracker:
+    def test_first_round_always_acceptable(self):
+        tracker = ParticipationTracker(alpha=0.9)
+        assert tracker.acceptable(1)
+
+    def test_floor_enforced(self):
+        tracker = ParticipationTracker(alpha=0.9)
+        tracker.record(100)
+        assert tracker.acceptable(90)
+        assert not tracker.acceptable(89)
+
+    def test_failed_round_resets_basis(self):
+        tracker = ParticipationTracker(alpha=0.9)
+        tracker.record(100)
+        tracker.record(50)  # failed round publishes the observed count
+        assert tracker.acceptable(45)
+
+    def test_alpha_zero_accepts_anything(self):
+        tracker = ParticipationTracker(alpha=0.0)
+        tracker.record(1000)
+        assert tracker.acceptable(0)

@@ -1,0 +1,122 @@
+"""Unit tests for ZK proofs and the randomized padding scheme."""
+
+import pytest
+
+from repro.crypto import padding, proofs
+from repro.crypto.keys import PrivateKey
+from repro.errors import InvalidProof, PaddingError
+
+
+class TestSchnorrPok:
+    def test_prove_verify(self, group, rng):
+        x = group.random_scalar(rng)
+        proof = proofs.prove_dlog(group, x)
+        assert proofs.verify_dlog(group, group.exp(group.g, x), proof)
+
+    def test_wrong_statement_fails(self, group, rng):
+        x = group.random_scalar(rng)
+        proof = proofs.prove_dlog(group, x)
+        assert not proofs.verify_dlog(group, group.exp(group.g, x + 1), proof)
+
+    def test_context_binding(self, group, rng):
+        x = group.random_scalar(rng)
+        proof = proofs.prove_dlog(group, x, context=b"phase-1")
+        y = group.exp(group.g, x)
+        assert proofs.verify_dlog(group, y, proof, context=b"phase-1")
+        assert not proofs.verify_dlog(group, y, proof, context=b"phase-2")
+
+    def test_non_element_statement_fails(self, group, rng):
+        proof = proofs.prove_dlog(group, group.random_scalar(rng))
+        assert not proofs.verify_dlog(group, group.p - 1, proof)
+
+
+class TestChaumPedersen:
+    def test_prove_verify(self, group, rng):
+        x = group.random_scalar(rng)
+        h = group.random_element(rng)
+        proof = proofs.prove_dleq(group, x, h)
+        assert proofs.verify_dleq(
+            group, group.exp(group.g, x), h, group.exp(h, x), proof
+        )
+
+    def test_unequal_logs_fail(self, group, rng):
+        x = group.random_scalar(rng)
+        h = group.random_element(rng)
+        proof = proofs.prove_dleq(group, x, h)
+        wrong_v = group.exp(h, x + 1)
+        assert not proofs.verify_dleq(group, group.exp(group.g, x), h, wrong_v, proof)
+
+    def test_tampered_proof_fails(self, group, rng):
+        x = group.random_scalar(rng)
+        h = group.random_element(rng)
+        proof = proofs.prove_dleq(group, x, h)
+        bad = proofs.DleqProof(proof.c, (proof.s + 1) % group.q)
+        assert not proofs.verify_dleq(group, group.exp(group.g, x), h, group.exp(h, x), bad)
+
+    def test_context_binding(self, group, rng):
+        x = group.random_scalar(rng)
+        h = group.random_element(rng)
+        proof = proofs.prove_dleq(group, x, h, context=b"rebuttal")
+        u, v = group.exp(group.g, x), group.exp(h, x)
+        assert proofs.verify_dleq(group, u, h, v, proof, context=b"rebuttal")
+        assert not proofs.verify_dleq(group, u, h, v, proof, context=b"strip")
+
+    def test_require_dleq_raises(self, group, rng):
+        x = group.random_scalar(rng)
+        h = group.random_element(rng)
+        proof = proofs.prove_dleq(group, x, h)
+        with pytest.raises(InvalidProof):
+            proofs.require_dleq(group, group.exp(group.g, x + 1), h, group.exp(h, x), proof)
+
+    def test_dh_rebuttal_shape(self, group, rng):
+        # The accusation rebuttal instantiation: u = client pub, h = server
+        # pub, v = shared DH element.
+        client = PrivateKey.generate(group, rng)
+        server = PrivateKey.generate(group, rng)
+        shared = group.exp(server.y, client.x)
+        proof = proofs.prove_dleq(group, client.x, server.y)
+        assert proofs.verify_dleq(group, client.y, server.y, shared, proof)
+
+
+class TestPadding:
+    def test_roundtrip(self):
+        for message in (b"", b"x", b"hello world", bytes(1000)):
+            assert padding.decode(padding.encode(message)) == message
+
+    def test_length_arithmetic(self):
+        assert padding.padded_length(100) == 100 + padding.OVERHEAD
+        assert padding.max_message_length(padding.padded_length(100)) == 100
+
+    def test_max_message_length_small_slot(self):
+        assert padding.max_message_length(3) == 0
+
+    def test_encoding_randomized(self):
+        assert padding.encode(b"same") != padding.encode(b"same")
+
+    def test_explicit_seed_deterministic(self):
+        seed = b"\x05" * padding.SEED_BYTES
+        assert padding.encode(b"m", seed) == padding.encode(b"m", seed)
+
+    def test_bad_seed_width(self):
+        with pytest.raises(PaddingError):
+            padding.encode(b"m", seed=b"short")
+
+    def test_corruption_detected_everywhere(self):
+        from repro.util.bytesops import flip_bit
+
+        encoded = padding.encode(b"sensitive payload")
+        for bit in range(0, 8 * len(encoded), 37):
+            assert not padding.is_intact(flip_bit(encoded, bit))
+
+    def test_truncation_detected(self):
+        with pytest.raises(PaddingError):
+            padding.decode(padding.encode(b"abc")[:-1])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PaddingError):
+            padding.decode(b"\x00" * (padding.OVERHEAD - 1))
+
+    def test_masked_payload_differs_from_message(self):
+        message = b"\x00" * 64
+        encoded = padding.encode(message)
+        assert encoded[padding.OVERHEAD:] != message  # masked, not cleartext

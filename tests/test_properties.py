@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import padding, prng, tiny_group
+from repro.crypto.keys import PrivateKey
+from repro.util import bytesops as B
+from repro.util import serialization as S
+
+
+class TestXorProperties:
+    @given(st.binary(min_size=0, max_size=256), st.binary(min_size=0, max_size=256))
+    def test_xor_self_inverse(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert B.xor_bytes(B.xor_bytes(a, b), b) == a
+
+    @given(st.lists(st.binary(min_size=16, max_size=16), min_size=0, max_size=12))
+    def test_xor_many_pairwise_cancellation(self, operands):
+        # XORing every operand twice yields zero — the DC-net correctness core.
+        doubled = operands + operands
+        random.Random(1).shuffle(doubled)
+        assert B.xor_many(doubled, length=16) == bytes(16)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0))
+    def test_flip_changes_exactly_one_bit(self, data, raw_index):
+        index = raw_index % (8 * len(data))
+        flipped = B.flip_bit(data, index)
+        assert B.hamming_weight(B.xor_bytes(data, flipped)) == 1
+
+    @given(st.binary(min_size=1, max_size=32))
+    def test_get_set_roundtrip(self, data):
+        for index in range(0, 8 * len(data), 7):
+            bit = B.get_bit(data, index)
+            assert B.get_bit(B.set_bit(data, index, bit), index) == bit
+
+
+class TestSerializationProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.binary(max_size=64),
+                st.integers(min_value=0, max_value=2**128),
+                st.text(max_size=32),
+            ),
+            max_size=8,
+        )
+    )
+    def test_pack_unpack_roundtrip(self, fields):
+        assert S.unpack_fields(S.pack_fields(*fields)) == fields
+
+    @given(st.integers(min_value=0, max_value=2**256))
+    def test_int_roundtrip(self, value):
+        decoded, _ = S.decode_int(S.encode_int(value))
+        assert decoded == value
+
+
+class TestPaddingProperties:
+    @given(st.binary(max_size=512))
+    @settings(max_examples=50)
+    def test_roundtrip(self, message):
+        assert padding.decode(padding.encode(message)) == message
+
+    @given(st.binary(min_size=1, max_size=128), st.integers(min_value=0))
+    @settings(max_examples=50)
+    def test_any_single_flip_detected(self, message, raw_bit):
+        encoded = padding.encode(message)
+        bit = raw_bit % (8 * len(encoded))
+        assert not padding.is_intact(B.flip_bit(encoded, bit))
+
+
+class TestPrngProperties:
+    @given(st.binary(min_size=32, max_size=32), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30)
+    def test_bit_oracle_consistent_with_stream(self, secret, round_number):
+        stream = prng.pair_stream(secret, round_number, 8)
+        for k in range(0, 64, 11):
+            assert prng.pair_stream_bit(secret, round_number, k) == B.get_bit(stream, k)
+
+
+class TestDcNetAlgebra:
+    """The XOR-cancellation theorem on random instances (tiny group DH)."""
+
+    @given(
+        st.integers(min_value=2, max_value=6),   # clients
+        st.integers(min_value=1, max_value=3),   # servers
+        st.integers(min_value=1, max_value=48),  # round bytes
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_xor_cancellation(self, n, m, length, pyrandom):
+        from repro.crypto import dh
+
+        group = tiny_group()
+        rng = random.Random(pyrandom.getrandbits(32))
+        client_keys = [PrivateKey.generate(group, rng) for _ in range(n)]
+        server_keys = [PrivateKey.generate(group, rng) for _ in range(m)]
+        # Random subset of clients online; random messages for online ones.
+        online = [i for i in range(n) if rng.random() < 0.8] or [0]
+        messages = {i: rng.randbytes(length) for i in online}
+        round_number = rng.randrange(1 << 16)
+
+        client_cts = {}
+        for i in online:
+            streams = [
+                prng.pair_stream(dh.shared_secret(client_keys[i], sk.public), round_number, length)
+                for sk in server_keys
+            ]
+            client_cts[i] = B.xor_many([messages[i], *streams], length=length)
+
+        server_cts = []
+        for j, sk in enumerate(server_keys):
+            streams = [
+                prng.pair_stream(dh.shared_secret(sk, client_keys[i].public), round_number, length)
+                for i in online
+            ]
+            own_clients = [i for i in online if i % m == j]
+            blobs = [client_cts[i] for i in own_clients]
+            server_cts.append(B.xor_many(streams + blobs, length=length))
+
+        output = B.xor_many(server_cts, length=length)
+        expected = B.xor_many(list(messages.values()), length=length)
+        assert output == expected

@@ -1,0 +1,214 @@
+"""Unit tests for slot scheduling: layout, evolution, and determinism."""
+
+import pytest
+
+from repro.core.config import Policy
+from repro.core.schedule import (
+    RoundLayout,
+    Scheduler,
+    decode_slot,
+    encode_slot,
+    open_slot_bytes,
+)
+from repro.crypto import padding
+from repro.errors import ProtocolError
+from repro.util.bytesops import set_bit
+
+
+POLICY = Policy(initial_slot_payload=32, idle_close_rounds=2)
+
+
+def make_scheduler(num_slots=4):
+    return Scheduler(num_slots, POLICY)
+
+
+def output_with_request(scheduler, slot):
+    layout = scheduler.current_layout()
+    return set_bit(bytes(layout.total_bytes), layout.request_bit_index(slot), 1)
+
+
+class TestLayout:
+    def test_all_closed_initially(self):
+        layout = make_scheduler().current_layout()
+        assert layout.total_bytes == layout.request_region_bytes == 1
+        assert not any(layout.is_open(s) for s in range(4))
+
+    def test_request_region_rounds_up(self):
+        assert Scheduler(9, POLICY).current_layout().request_region_bytes == 2
+
+    def test_open_slot_bytes(self):
+        assert open_slot_bytes(32) == 3 + padding.OVERHEAD + 32
+
+    def test_byte_ranges_disjoint_and_ordered(self):
+        layout = RoundLayout(3, (16, 0, 8))
+        a = layout.slot_byte_range(0)
+        c = layout.slot_byte_range(2)
+        assert a[0] == layout.request_region_bytes
+        assert a[1] <= c[0]
+        assert c[1] == layout.total_bytes
+
+    def test_closed_slot_range_raises(self):
+        layout = RoundLayout(3, (16, 0, 8))
+        with pytest.raises(ProtocolError):
+            layout.slot_byte_range(1)
+
+    def test_bit_range_consistent(self):
+        layout = RoundLayout(2, (8, 4))
+        start, end = layout.slot_byte_range(1)
+        assert layout.slot_bit_range(1) == (8 * start, 8 * end)
+
+
+class TestSlotOpening:
+    def test_request_bit_opens_slot(self):
+        scheduler = make_scheduler()
+        scheduler.advance(output_with_request(scheduler, 2))
+        layout = scheduler.current_layout()
+        assert layout.capacities == (0, 0, 32, 0)
+
+    def test_no_request_stays_closed(self):
+        scheduler = make_scheduler()
+        scheduler.advance(bytes(scheduler.current_layout().total_bytes))
+        assert scheduler.current_layout().capacities == (0, 0, 0, 0)
+
+    def test_multiple_simultaneous_opens(self):
+        scheduler = make_scheduler()
+        layout = scheduler.current_layout()
+        output = bytes(layout.total_bytes)
+        output = set_bit(output, 0, 1)
+        output = set_bit(output, 3, 1)
+        scheduler.advance(output)
+        assert scheduler.current_layout().capacities == (32, 0, 0, 32)
+
+
+class TestSlotEvolution:
+    def _open_slot(self, scheduler, slot=0):
+        scheduler.advance(output_with_request(scheduler, slot))
+
+    def test_length_field_grows_slot(self):
+        scheduler = make_scheduler()
+        self._open_slot(scheduler)
+        layout = scheduler.current_layout()
+        slot_bytes = encode_slot(layout, POLICY, 0, b"hi", requested_length=100)
+        start, end = layout.slot_byte_range(0)
+        output = bytearray(layout.total_bytes)
+        output[start:end] = slot_bytes
+        scheduler.advance(bytes(output))
+        assert scheduler.slot_capacity(0) == 100
+
+    def test_zero_length_closes_slot(self):
+        scheduler = make_scheduler()
+        self._open_slot(scheduler)
+        layout = scheduler.current_layout()
+        slot_bytes = encode_slot(layout, POLICY, 0, b"", requested_length=0)
+        start, end = layout.slot_byte_range(0)
+        output = bytearray(layout.total_bytes)
+        output[start:end] = slot_bytes
+        scheduler.advance(bytes(output))
+        assert scheduler.slot_capacity(0) == 0
+
+    def test_requested_length_clamped(self):
+        policy = Policy(initial_slot_payload=32, max_slot_payload=64)
+        scheduler = Scheduler(2, policy)
+        scheduler.advance(set_bit(bytes(1), 0, 1))
+        layout = scheduler.current_layout()
+        slot_bytes = encode_slot(layout, policy, 0, b"", requested_length=60000)
+        start, end = layout.slot_byte_range(0)
+        output = bytearray(layout.total_bytes)
+        output[start:end] = slot_bytes
+        scheduler.advance(bytes(output))
+        assert scheduler.slot_capacity(0) == 64
+
+    def test_idle_slot_closes_after_policy_rounds(self):
+        scheduler = make_scheduler()
+        self._open_slot(scheduler)
+        for _ in range(POLICY.idle_close_rounds):
+            assert scheduler.slot_capacity(0) == 32
+            scheduler.advance(bytes(scheduler.current_layout().total_bytes))
+        assert scheduler.slot_capacity(0) == 0
+
+    def test_corrupted_slot_keeps_capacity(self):
+        scheduler = make_scheduler()
+        self._open_slot(scheduler)
+        layout = scheduler.current_layout()
+        start, end = layout.slot_byte_range(0)
+        output = bytearray(layout.total_bytes)
+        output[start:end] = b"\xff" * (end - start)  # garbage: fails padding
+        scheduler.advance(bytes(output))
+        assert scheduler.slot_capacity(0) == 32
+
+    def test_wrong_output_length_rejected(self):
+        scheduler = make_scheduler()
+        with pytest.raises(ProtocolError):
+            scheduler.advance(bytes(99))
+
+
+class TestEncodeDecodeSlot:
+    def _layout(self):
+        return RoundLayout(2, (32, 0))
+
+    def test_roundtrip(self):
+        layout = self._layout()
+        slot_bytes = encode_slot(
+            layout, POLICY, 0, b"payload", requested_length=48, shuffle_request=5
+        )
+        cleartext = bytes(layout.request_region_bytes) + slot_bytes
+        content = decode_slot(layout, POLICY, 0, cleartext)
+        assert not content.is_corrupted and not content.is_silent
+        assert content.requested_length == 48
+        assert content.shuffle_request == 5
+        assert content.payload.rstrip(b"\x00") == b"payload"
+
+    def test_silent_slot(self):
+        layout = self._layout()
+        cleartext = bytes(layout.total_bytes)
+        content = decode_slot(layout, POLICY, 0, cleartext)
+        assert content.is_silent
+
+    def test_payload_too_big_rejected(self):
+        layout = self._layout()
+        with pytest.raises(ProtocolError):
+            encode_slot(layout, POLICY, 0, b"x" * 33)
+
+    def test_shuffle_request_too_wide_rejected(self):
+        layout = self._layout()
+        with pytest.raises(ProtocolError):
+            encode_slot(layout, POLICY, 0, b"", shuffle_request=256)
+
+    def test_closed_slot_encode_rejected(self):
+        layout = self._layout()
+        with pytest.raises(ProtocolError):
+            encode_slot(layout, POLICY, 1, b"x")
+
+    def test_shuffle_request_readable_in_corrupted_slot(self):
+        # The accusation trigger must survive payload corruption (§3.9).
+        layout = self._layout()
+        slot_bytes = encode_slot(layout, POLICY, 0, b"data", shuffle_request=3)
+        corrupted = slot_bytes[:3] + b"\xff" * (len(slot_bytes) - 3)
+        cleartext = bytes(layout.request_region_bytes) + corrupted
+        content = decode_slot(layout, POLICY, 0, cleartext)
+        assert content.is_corrupted
+        assert content.shuffle_request == 3
+
+
+class TestDeterminism:
+    def test_parallel_schedulers_stay_identical(self):
+        import random
+
+        rng = random.Random(8)
+        schedulers = [make_scheduler(3) for _ in range(4)]
+        for step in range(12):
+            layout = schedulers[0].current_layout()
+            output = bytearray(layout.total_bytes)
+            # Random request bits and garbage in random open slots.
+            for slot in range(3):
+                if not layout.is_open(slot) and rng.random() < 0.5:
+                    output = bytearray(
+                        set_bit(bytes(output), layout.request_bit_index(slot), 1)
+                    )
+                elif layout.is_open(slot) and rng.random() < 0.5:
+                    start, end = layout.slot_byte_range(slot)
+                    output[start:end] = rng.randbytes(end - start)
+            for scheduler in schedulers:
+                scheduler.advance(bytes(output))
+            states = {s.current_layout().capacities for s in schedulers}
+            assert len(states) == 1, f"diverged at step {step}"

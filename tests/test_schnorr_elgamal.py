@@ -1,0 +1,166 @@
+"""Unit tests for signatures, key pairs, DH, and ElGamal."""
+
+import pytest
+
+from repro.crypto import dh, elgamal, schnorr
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.errors import CryptoError, InvalidCiphertext, InvalidSignature
+
+
+class TestKeys:
+    def test_public_matches_private(self, group, rng):
+        key = PrivateKey.generate(group, rng)
+        assert key.public.y == group.exp(group.g, key.x)
+
+    def test_scalar_out_of_range_rejected(self, group):
+        with pytest.raises(ValueError):
+            PrivateKey(group, 0)
+        with pytest.raises(ValueError):
+            PrivateKey(group, group.q)
+
+    def test_public_key_validates_element(self, group):
+        with pytest.raises(CryptoError):
+            PublicKey(group, group.p - 1)
+
+    def test_public_key_bytes_roundtrip(self, keypair, group):
+        data = keypair.public.to_bytes()
+        assert PublicKey.from_bytes(group, data).y == keypair.y
+
+    def test_fingerprint_stable_and_short(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 8
+
+
+class TestSchnorrSignatures:
+    def test_sign_verify(self, keypair):
+        sig = schnorr.sign(keypair, b"message")
+        assert schnorr.verify(keypair.public, b"message", sig)
+
+    def test_wrong_message_fails(self, keypair):
+        sig = schnorr.sign(keypair, b"message")
+        assert not schnorr.verify(keypair.public, b"messagX", sig)
+
+    def test_wrong_key_fails(self, group, keypair, rng):
+        other = PrivateKey.generate(group, rng)
+        sig = schnorr.sign(keypair, b"m")
+        assert not schnorr.verify(other.public, b"m", sig)
+
+    def test_signatures_randomized(self, keypair):
+        assert schnorr.sign(keypair, b"m") != schnorr.sign(keypair, b"m")
+
+    def test_out_of_range_components_fail(self, group, keypair):
+        sig = schnorr.sign(keypair, b"m")
+        bad = schnorr.Signature(sig.c, group.q)
+        assert not schnorr.verify(keypair.public, b"m", bad)
+
+    def test_bytes_roundtrip(self, group, keypair):
+        sig = schnorr.sign(keypair, b"m")
+        data = sig.to_bytes(group)
+        assert schnorr.Signature.from_bytes(group, data) == sig
+
+    def test_bytes_wrong_width(self, group):
+        with pytest.raises(InvalidSignature):
+            schnorr.Signature.from_bytes(group, b"\x00" * 3)
+
+    def test_require_valid_raises(self, keypair):
+        sig = schnorr.sign(keypair, b"m")
+        with pytest.raises(InvalidSignature):
+            schnorr.require_valid(keypair.public, b"other", sig)
+
+    def test_empty_message(self, keypair):
+        sig = schnorr.sign(keypair, b"")
+        assert schnorr.verify(keypair.public, b"", sig)
+
+
+class TestDiffieHellman:
+    def test_symmetry(self, group, rng):
+        a, b = PrivateKey.generate(group, rng), PrivateKey.generate(group, rng)
+        assert dh.shared_secret(a, b.public) == dh.shared_secret(b, a.public)
+
+    def test_distinct_pairs_distinct_secrets(self, group, rng):
+        a, b, c = (PrivateKey.generate(group, rng) for _ in range(3))
+        assert dh.shared_secret(a, b.public) != dh.shared_secret(a, c.public)
+
+    def test_secret_width(self, group, rng):
+        a, b = PrivateKey.generate(group, rng), PrivateKey.generate(group, rng)
+        assert len(dh.shared_secret(a, b.public)) == 32
+
+    def test_element_matches_secret(self, group, rng):
+        a, b = PrivateKey.generate(group, rng), PrivateKey.generate(group, rng)
+        element = dh.shared_element(a, b.public)
+        assert dh.secret_from_element(group, element) == dh.shared_secret(a, b.public)
+
+    def test_cross_group_rejected(self, group, tiny, rng):
+        a = PrivateKey.generate(group, rng)
+        b = PrivateKey.generate(tiny, rng)
+        with pytest.raises(CryptoError):
+            dh.shared_secret(a, b.public)
+
+    def test_bad_element_rejected(self, group):
+        with pytest.raises(CryptoError):
+            dh.secret_from_element(group, group.p - 1)
+
+
+class TestElGamal:
+    def test_encrypt_decrypt(self, group, keypair, rng):
+        m = group.random_element(rng)
+        assert elgamal.decrypt(keypair, elgamal.encrypt(keypair.public, m)) == m
+
+    def test_randomized(self, group, keypair, rng):
+        m = group.random_element(rng)
+        assert elgamal.encrypt(keypair.public, m) != elgamal.encrypt(keypair.public, m)
+
+    def test_explicit_randomness_deterministic(self, group, keypair, rng):
+        m = group.random_element(rng)
+        r = group.random_scalar(rng)
+        assert elgamal.encrypt(keypair.public, m, r) == elgamal.encrypt(keypair.public, m, r)
+
+    def test_non_element_plaintext_rejected(self, group, keypair):
+        with pytest.raises(CryptoError):
+            elgamal.encrypt(keypair.public, group.p - 1)
+
+    def test_ciphertext_bytes_roundtrip(self, group, keypair, rng):
+        ct = elgamal.encrypt(keypair.public, group.random_element(rng))
+        assert elgamal.Ciphertext.from_bytes(group, ct.to_bytes(group)) == ct
+
+    def test_ciphertext_bad_bytes(self, group):
+        with pytest.raises(InvalidCiphertext):
+            elgamal.Ciphertext.from_bytes(group, b"\x00")
+
+    def test_layered_any_strip_order(self, group, rng):
+        keys = [PrivateKey.generate(group, rng) for _ in range(4)]
+        m = group.random_element(rng)
+        ct = elgamal.encrypt_layered([k.public for k in keys], m)
+        for key in reversed(keys):  # strip in reverse order: still works
+            ct = elgamal.strip_layer(key, ct)
+        assert elgamal.final_plaintext(group, ct) == m
+
+    def test_combined_key_is_product(self, group, rng):
+        keys = [PrivateKey.generate(group, rng) for _ in range(3)]
+        combined = elgamal.combined_key([k.public for k in keys])
+        expected = 1
+        for k in keys:
+            expected = group.mul(expected, k.y)
+        assert combined.y == expected
+
+    def test_combined_key_empty_rejected(self):
+        with pytest.raises(InvalidCiphertext):
+            elgamal.combined_key([])
+
+    def test_rerandomize_preserves_plaintext(self, group, keypair, rng):
+        m = group.random_element(rng)
+        ct = elgamal.encrypt(keypair.public, m)
+        ct2, r = elgamal.rerandomize(keypair.public, ct)
+        assert ct2 != ct
+        assert elgamal.decrypt(keypair, ct2) == m
+
+    def test_rerandomize_with_zero_layers_left(self, group, rng):
+        # Rerandomizing under a combined key then stripping still decodes.
+        keys = [PrivateKey.generate(group, rng) for _ in range(2)]
+        publics = [k.public for k in keys]
+        m = group.random_element(rng)
+        ct = elgamal.encrypt_layered(publics, m)
+        ct, _ = elgamal.rerandomize(elgamal.combined_key(publics), ct)
+        for key in keys:
+            ct = elgamal.strip_layer(key, ct)
+        assert elgamal.final_plaintext(group, ct) == m

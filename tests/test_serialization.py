@@ -1,0 +1,90 @@
+"""Unit tests for canonical serialization (signing/hashing substrate)."""
+
+import pytest
+
+from repro.util import serialization as S
+
+
+class TestEncodeInt:
+    def test_roundtrip_small(self):
+        for value in (0, 1, 255, 256, 2**64):
+            data = S.encode_int(value)
+            decoded, offset = S.decode_int(data)
+            assert decoded == value
+            assert offset == len(data)
+
+    def test_roundtrip_huge(self):
+        value = 2**2047 - 19
+        decoded, _ = S.decode_int(S.encode_int(value))
+        assert decoded == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            S.encode_int(-1)
+
+    def test_truncated_prefix(self):
+        with pytest.raises(ValueError):
+            S.decode_int(b"\x00\x00")
+
+    def test_truncated_body(self):
+        data = S.encode_int(12345)[:-1]
+        with pytest.raises(ValueError):
+            S.decode_int(data)
+
+    def test_sequential_decode(self):
+        data = S.encode_int(7) + S.encode_int(11)
+        first, offset = S.decode_int(data)
+        second, end = S.decode_int(data, offset)
+        assert (first, second) == (7, 11)
+        assert end == len(data)
+
+
+class TestPackFields:
+    def test_roundtrip_mixed(self):
+        fields = [b"\x01\x02", 42, "hello", b"", 0, "unicode: é"]
+        assert S.unpack_fields(S.pack_fields(*fields)) == fields
+
+    def test_injective_across_types(self):
+        # The int 65 and the bytes b"A" and the str "A" must not collide.
+        assert S.pack_fields(65) != S.pack_fields(b"A")
+        assert S.pack_fields("A") != S.pack_fields(b"A")
+
+    def test_injective_across_boundaries(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert S.pack_fields("ab", "c") != S.pack_fields("a", "bc")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            S.pack_fields(True)
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            S.pack_fields(-5)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            S.pack_fields(3.14)
+
+    def test_truncated_unpack(self):
+        data = S.pack_fields(b"\x01" * 10)
+        with pytest.raises(ValueError):
+            S.unpack_fields(data[:-1])
+
+    def test_unknown_tag(self):
+        with pytest.raises(ValueError):
+            S.unpack_fields(b"Z" + (1).to_bytes(4, "big") + b"x")
+
+    def test_empty(self):
+        assert S.unpack_fields(S.pack_fields()) == []
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert S.canonical_json({"b": 1, "a": 2}) == S.canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        assert b" " not in S.canonical_json({"a": [1, 2], "b": "x y"}).replace(b"x y", b"")
+
+    def test_deterministic_nested(self):
+        obj = {"z": {"y": [3, 2, 1]}, "a": None}
+        assert S.canonical_json(obj) == S.canonical_json(obj)

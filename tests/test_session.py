@@ -1,0 +1,155 @@
+"""Integration tests: the full real-crypto protocol end to end."""
+
+import pytest
+
+from tests.helpers import fresh_session
+from repro.core import DissentSession, Policy, RoundStatus
+from repro.errors import ProtocolError
+
+
+class TestSetup:
+    def test_every_client_gets_unique_slot(self, small_session):
+        slots = [c.slot for c in small_session.clients]
+        assert sorted(slots) == list(range(6))
+
+    def test_servers_and_clients_agree_on_schedule(self, small_session):
+        keys = {tuple(s.slot_keys) for s in small_session.servers}
+        keys |= {tuple(c.slot_keys) for c in small_session.clients}
+        assert len(keys) == 1
+
+    def test_double_setup_rejected(self, small_session):
+        with pytest.raises(ProtocolError):
+            small_session.setup()
+
+    def test_rounds_before_setup_rejected(self):
+        session = DissentSession.build(num_servers=2, num_clients=3, seed=1)
+        with pytest.raises(ProtocolError):
+            session.run_round()
+
+
+class TestMessaging:
+    def test_single_message_delivered_to_all(self):
+        session = fresh_session(seed=42)
+        session.post(2, b"anonymous hello")
+        session.run_until_quiet()
+        for client in session.clients:
+            assert b"anonymous hello" in [m for (_, _, m) in client.received]
+
+    def test_message_attributed_to_slot_not_client(self):
+        session = fresh_session(seed=43)
+        session.post(2, b"whoami")
+        session.run_until_quiet()
+        deliveries = [
+            (slot, m) for (_, slot, m) in session.clients[0].received if m == b"whoami"
+        ]
+        assert len(deliveries) == 1
+        assert deliveries[0][0] == session.clients[2].slot
+
+    def test_concurrent_senders(self):
+        session = fresh_session(seed=44)
+        for i in range(5):
+            session.post(i, f"msg-{i}".encode())
+        session.run_until_quiet()
+        got = {m for (_, _, m) in session.clients[3].received}
+        assert got == {f"msg-{i}".encode() for i in range(5)}
+
+    def test_multiple_messages_one_sender_in_order(self):
+        session = fresh_session(seed=45)
+        session.post(1, b"first")
+        session.post(1, b"second")
+        session.post(1, b"third")
+        session.run_until_quiet()
+        ours = [
+            m
+            for (_, slot, m) in session.clients[0].received
+            if slot == session.clients[1].slot
+        ]
+        assert ours == [b"first", b"second", b"third"]
+
+    def test_large_message_grows_slot(self):
+        session = fresh_session(seed=46)
+        big = bytes(range(256)) * 8  # 2 KB > initial 128 B slot
+        session.post(0, big)
+        session.run_until_quiet()
+        assert big in [m for (_, _, m) in session.clients[4].received]
+
+    def test_all_clients_see_identical_stream(self):
+        session = fresh_session(seed=47)
+        session.post(0, b"a")
+        session.post(3, b"b")
+        session.run_until_quiet()
+        streams = {tuple(c.received) for c in session.clients}
+        assert len(streams) == 1
+
+
+class TestChurn:
+    def test_round_completes_with_offline_clients(self):
+        session = fresh_session(seed=50, policy=Policy(alpha=0.0))
+        record = session.run_round(online={0, 1})
+        assert record.completed
+        assert record.participation == 2
+
+    def test_sender_offline_message_waits(self):
+        session = fresh_session(seed=51, policy=Policy(alpha=0.0))
+        session.post(4, b"delayed")
+        session.run_round(online={0, 1, 2, 3})  # sender offline
+        assert session.clients[4].has_pending_traffic
+        session.run_round()  # request bit
+        session.run_round()  # send
+        assert b"delayed" in [m for (_, _, m) in session.clients[0].received]
+
+    def test_alpha_floor_fails_round(self):
+        session = fresh_session(seed=52, policy=Policy(alpha=0.9))
+        session.run_round()  # basis: 5
+        record = session.run_round(online={0})
+        assert record.status is RoundStatus.FAILED
+        assert record.output is None
+
+    def test_failed_round_resets_basis(self):
+        session = fresh_session(seed=53, policy=Policy(alpha=0.9))
+        session.run_round()
+        session.run_round(online={0, 1})  # fails, basis becomes 2
+        record = session.run_round(online={0, 1})
+        assert record.completed
+
+    def test_failed_round_message_retransmitted(self):
+        session = fresh_session(seed=54, policy=Policy(alpha=0.9))
+        session.run_round()
+        session.run_round()
+        session.post(0, b"survives failure")
+        session.run_round()  # request bit round (all online)
+        session.run_round(online={0})  # slot open but round fails
+        session.run_round()  # all back online: resend
+        session.run_round()
+        assert b"survives failure" in [
+            m for (_, _, m) in session.clients[1].received
+        ]
+
+    def test_offline_client_rejoins_consistently(self):
+        session = fresh_session(seed=55, policy=Policy(alpha=0.0))
+        session.post(1, b"while away")
+        session.run_round(online={0, 1, 2, 3})
+        session.run_round(online={0, 1, 2, 3})
+        session.run_round()  # client 4 returns
+        streams = {tuple(c.received) for c in session.clients}
+        assert len(streams) == 1
+
+
+class TestParticipationMetrics:
+    def test_participation_published(self):
+        session = fresh_session(seed=56, policy=Policy(alpha=0.0))
+        record = session.run_round(online={0, 2, 4})
+        assert record.participation == 3
+        assert session.clients[0].last_participation == 3
+
+    def test_min_participation_client_stays_passive(self):
+        session = fresh_session(seed=57, policy=Policy(alpha=0.0))
+        session.clients[0].min_participation = 4
+        session.post(0, b"secret")
+        session.run_round(online={0, 1})  # 2 < 4: passive
+        session.run_round(online={0, 1})
+        assert session.clients[0].has_pending_traffic  # never sent
+        session.run_round()  # 5 online: basis up
+        session.run_round()
+        session.run_round()
+        assert not session.clients[0].has_pending_traffic

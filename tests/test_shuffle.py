@@ -1,0 +1,170 @@
+"""Unit tests for the verifiable decryption mix cascade."""
+
+import random
+
+import pytest
+
+from repro.crypto import shuffle
+from repro.crypto.keys import PrivateKey
+from repro.errors import ShuffleError
+
+SOUNDNESS = 6  # small for speed; security-level tests use more
+
+
+@pytest.fixture(scope="module")
+def cascade_env():
+    from repro.crypto import testing_group
+
+    group = testing_group()
+    rng = random.Random(99)
+    servers = [PrivateKey.generate(group, rng) for _ in range(3)]
+    publics = [key.public for key in servers]
+    return group, rng, servers, publics
+
+
+class TestKeyShuffleCascade:
+    def test_outputs_are_permutation(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        elements = [group.random_element(rng) for _ in range(5)]
+        inputs = [shuffle.prepare_element_input(publics, e, rng) for e in elements]
+        transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"t", rng)
+        assert sorted(transcript.outputs(group)) == sorted(elements)
+
+    def test_transcript_verifies(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        inputs = [
+            shuffle.prepare_element_input(publics, group.random_element(rng), rng)
+            for _ in range(4)
+        ]
+        transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"ctx", rng)
+        assert shuffle.verify_transcript(publics, transcript, b"ctx")
+
+    def test_wrong_context_fails(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        inputs = [
+            shuffle.prepare_element_input(publics, group.random_element(rng), rng)
+            for _ in range(3)
+        ]
+        transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"ctx", rng)
+        assert not shuffle.verify_transcript(publics, transcript, b"other")
+
+    def test_single_server_cascade(self, cascade_env):
+        group, rng, servers, _ = cascade_env
+        solo = [servers[0]]
+        publics = [servers[0].public]
+        elements = [group.random_element(rng) for _ in range(3)]
+        inputs = [shuffle.prepare_element_input(publics, e, rng) for e in elements]
+        transcript = shuffle.run_cascade(solo, inputs, SOUNDNESS, b"s", rng)
+        assert shuffle.verify_transcript(publics, transcript, b"s")
+        assert sorted(transcript.outputs(group)) == sorted(elements)
+
+    def test_single_input(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        element = group.random_element(rng)
+        inputs = [shuffle.prepare_element_input(publics, element, rng)]
+        transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"1", rng)
+        assert transcript.outputs(group) == [element]
+
+    def test_empty_inputs_rejected(self, cascade_env):
+        _, rng, servers, _ = cascade_env
+        with pytest.raises(ShuffleError):
+            shuffle.run_cascade(servers, [], SOUNDNESS, b"", rng)
+
+    def test_no_servers_rejected(self, cascade_env):
+        group, rng, _, publics = cascade_env
+        inputs = [shuffle.prepare_element_input(publics, group.random_element(rng), rng)]
+        with pytest.raises(ShuffleError):
+            shuffle.run_cascade([], inputs, SOUNDNESS, b"", rng)
+
+
+class TestTamperDetection:
+    def _make_transcript(self, cascade_env, n=3):
+        group, rng, servers, publics = cascade_env
+        inputs = [
+            shuffle.prepare_element_input(publics, group.random_element(rng), rng)
+            for _ in range(n)
+        ]
+        return shuffle.run_cascade(servers, inputs, SOUNDNESS, b"tamper", rng)
+
+    def test_swapped_outputs_detected(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        transcript = self._make_transcript(cascade_env)
+        last = transcript.steps[-1]
+        swapped = list(last.stripped)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        import dataclasses
+
+        bad_step = dataclasses.replace(last, stripped=tuple(swapped))
+        bad = dataclasses.replace(
+            transcript, steps=transcript.steps[:-1] + (bad_step,)
+        )
+        assert not shuffle.verify_transcript(publics, bad, b"tamper")
+
+    def test_replaced_ciphertext_detected(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        transcript = self._make_transcript(cascade_env)
+        import dataclasses
+
+        first = transcript.steps[0]
+        fake = shuffle.prepare_element_input(publics, group.random_element(rng), rng)
+        permuted = (fake,) + first.permuted[1:]
+        bad_step = dataclasses.replace(first, permuted=permuted)
+        bad = dataclasses.replace(transcript, steps=(bad_step,) + transcript.steps[1:])
+        assert not shuffle.verify_transcript(publics, bad, b"tamper")
+
+    def test_wrong_step_count_detected(self, cascade_env):
+        _, _, _, publics = cascade_env
+        transcript = self._make_transcript(cascade_env)
+        import dataclasses
+
+        bad = dataclasses.replace(transcript, steps=transcript.steps[:-1])
+        assert not shuffle.verify_transcript(publics, bad, b"tamper")
+
+
+class TestMessageShuffle:
+    def test_message_roundtrip(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        width = shuffle.message_vector_width(group, 40)
+        messages = [b"first accusation", b"", b"third message!!"]
+        inputs = [
+            shuffle.prepare_message_input(publics, m, width, rng) for m in messages
+        ]
+        transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"msg", rng)
+        assert shuffle.verify_transcript(publics, transcript, b"msg")
+        outputs = [
+            shuffle.decode_message_output(group, vector)
+            for vector in transcript.output_vectors(group)
+        ]
+        assert sorted(outputs) == sorted(messages)
+
+    def test_width_calculation(self, cascade_env):
+        group, *_ = cascade_env
+        width = shuffle.message_vector_width(group, 100)
+        assert width * group.message_bytes >= 102
+
+    def test_oversize_message_rejected(self, cascade_env):
+        group, rng, _, publics = cascade_env
+        with pytest.raises(ShuffleError):
+            shuffle.prepare_message_input(publics, b"x" * 500, 1, rng)
+
+    def test_mixed_widths_rejected(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        a = shuffle.prepare_message_input(publics, b"a", 1, rng)
+        b = shuffle.prepare_message_input(publics, b"b", 2, rng)
+        with pytest.raises(ShuffleError):
+            shuffle.run_cascade(servers, [a, b], SOUNDNESS, b"", rng)
+
+    def test_permutation_secrecy_smoke(self, cascade_env):
+        # With fresh randomness, repeated runs place a marked input at
+        # varying output positions.
+        group, rng, servers, publics = cascade_env
+        elements = [group.random_element(rng) for _ in range(4)]
+        positions = set()
+        for trial in range(8):
+            trial_rng = random.Random(1000 + trial)
+            inputs = [
+                shuffle.prepare_element_input(publics, e, trial_rng) for e in elements
+            ]
+            transcript = shuffle.run_cascade(servers, inputs, 2, b"p", trial_rng)
+            positions.add(transcript.outputs(group).index(elements[0]))
+        assert len(positions) > 1

@@ -1,0 +1,193 @@
+"""Unit tests for the discrete-event engine, network, churn, and trace."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim import (
+    LanJitterModel,
+    LinkSpec,
+    SessionChurnModel,
+    Simulator,
+    StragglerModel,
+    TraceConfig,
+    deterlab_topology,
+    emulab_wifi_topology,
+    generate_trace,
+    planetlab_topology,
+    replay_policy,
+)
+from repro.core.policy import FractionMultiplierPolicy, WaitForAllPolicy
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+
+class TestNetworkModels:
+    def test_transfer_time_formula(self):
+        link = LinkSpec(latency_s=0.01, bandwidth_bps=8e6)
+        assert link.transfer_time(1000) == pytest.approx(0.01 + 0.001)
+
+    def test_shared_uplink_contention(self):
+        topo = deterlab_topology()
+        one = topo.clients_to_server_time(1, 10_000)
+        many = topo.clients_to_server_time(10, 10_000)
+        assert many > one
+        assert many - one == pytest.approx(9 * topo.client_uplink.serialization_time(10_000))
+
+    def test_broadcast_scales_with_servers(self):
+        topo = deterlab_topology()
+        assert topo.server_broadcast_time(4, 1000) < topo.server_broadcast_time(16, 1000)
+
+    def test_single_server_broadcast_free(self):
+        assert deterlab_topology().server_broadcast_time(1, 100000) == 0.0
+
+    def test_paper_topology_constants(self):
+        det = deterlab_topology()
+        assert det.client_uplink.latency_s == pytest.approx(0.050)
+        assert det.server_link.latency_s == pytest.approx(0.010)
+        wifi = emulab_wifi_topology()
+        assert wifi.client_uplink.bandwidth_bps == pytest.approx(24e6)
+        pl = planetlab_topology()
+        assert pl.client_uplink.latency_s > det.client_uplink.latency_s
+
+
+class TestChurnModels:
+    def test_straggler_delays_mostly_subsecond(self):
+        model = StragglerModel()
+        rng = random.Random(1)
+        delays = model.sample_round(2000, rng)
+        finite = [d for d in delays if not math.isinf(d)]
+        subsecond = sum(1 for d in finite if d < 1.0)
+        assert subsecond / len(finite) > 0.8
+
+    def test_straggler_tail_exists(self):
+        model = StragglerModel(straggler_prob=0.1)
+        rng = random.Random(2)
+        delays = model.sample_round(1000, rng)
+        assert any(d > 5.0 for d in delays if not math.isinf(d))
+
+    def test_offline_clients_appear(self):
+        model = StragglerModel(offline_prob=0.05)
+        rng = random.Random(3)
+        delays = model.sample_round(1000, rng)
+        assert any(math.isinf(d) for d in delays)
+
+    def test_lan_jitter_tight(self):
+        model = LanJitterModel()
+        rng = random.Random(4)
+        delays = model.sample_round(100, rng)
+        assert all(0.005 <= d <= 0.016 for d in delays)
+
+    def test_session_churn_preserves_population_count(self):
+        model = SessionChurnModel()
+        rng = random.Random(5)
+        online = [True] * 100
+        online = model.step(online, 0.5, rng)
+        assert len(online) == 100
+
+    def test_session_churn_reaches_steady_state(self):
+        model = SessionChurnModel(mean_session_rounds=50, mean_offline_rounds=50)
+        rng = random.Random(6)
+        online = [True] * 400
+        for r in range(300):
+            online = model.step(online, r / 300, rng)
+        frac = sum(online) / len(online)
+        assert 0.3 < frac < 0.7  # ~50% at equal rates
+
+
+class TestTraceReplay:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(TraceConfig(num_rounds=500, seed=77))
+
+    def test_trace_shape(self, trace):
+        assert len(trace) == 500
+        for rt in trace[:10]:
+            assert rt.online_clients == len(rt.delays)
+
+    def test_population_varies(self, trace):
+        counts = {rt.online_clients for rt in trace}
+        assert len(counts) > 10
+
+    def test_baseline_slower_than_early_cutoff(self, trace):
+        base = replay_policy(WaitForAllPolicy(120.0), trace)
+        fast = replay_policy(FractionMultiplierPolicy(0.95, 1.1, 120.0), trace)
+        assert base.median_completion > 10 * fast.median_completion
+
+    def test_miss_rates_ordered_by_multiplier(self, trace):
+        rates = [
+            replay_policy(FractionMultiplierPolicy(0.95, m, 120.0), trace).mean_miss_fraction
+            for m in (1.1, 1.2, 2.0)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_cdf_is_monotone(self, trace):
+        stats = replay_policy(WaitForAllPolicy(120.0), trace)
+        cdf = stats.cdf()
+        times = [t for t, _ in cdf]
+        fracs = [f for _, f in cdf]
+        assert times == sorted(times)
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        a = generate_trace(TraceConfig(num_rounds=50, seed=9))
+        b = generate_trace(TraceConfig(num_rounds=50, seed=9))
+        assert [rt.delays for rt in a] == [rt.delays for rt in b]
