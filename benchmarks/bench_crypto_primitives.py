@@ -3,7 +3,7 @@
 import random
 
 from repro.crypto import PrivateKey, dh, elgamal, padding, prng, schnorr, shuffle
-from repro.crypto.groups import testing_group as make_group
+from repro.crypto.groups import production_group, testing_group as make_group
 
 
 def test_bench_pair_stream(benchmark):
@@ -41,6 +41,29 @@ def test_bench_dh_shared_secret(benchmark):
     b = PrivateKey.generate(group, rng)
     secret = benchmark(dh.shared_secret, a, b.public)
     assert secret == dh.shared_secret(b, a.public)
+
+
+def test_bench_exp_plain_2048(benchmark):
+    """Baseline: CPython ``pow`` in the production group."""
+    group = production_group()
+    e = random.Random(6).randrange(1, group.q)
+    result = benchmark(group.exp, group.g, e)
+    assert result == group.exp_g(e)
+
+
+def test_bench_exp_fixed_2048(benchmark):
+    """Fixed-base window table for the generator (the verifiable-path hot op).
+
+    Must come out well under :func:`test_bench_exp_plain_2048` — the cached
+    table trades ~10 plain exponentiations of one-time build cost for a
+    ~4x speedup on every subsequent call.
+    """
+    group = production_group()
+    rng = random.Random(6)
+    e = rng.randrange(1, group.q)
+    group.exp_g(1)  # build the table outside the measured region
+    result = benchmark(group.exp_g, e)
+    assert result == pow(group.g, e, group.p)
 
 
 def test_bench_padding_roundtrip(benchmark):

@@ -1,0 +1,189 @@
+"""XOR vs verifiable vs hybrid DC-net benchmarks (real crypto + sim scale).
+
+Three questions, mirroring Verdict's evaluation:
+
+* what does proactive verifiability cost per round (throughput of the
+  three modes on identical small groups)?
+* how fast does each mode name a disruptor (time-to-blame: hybrid's
+  verifiable replay vs the §3.9 accusation shuffle)?
+* what do both look like at paper scale (simulated-time model)?
+
+Run with ``-s`` to see the comparison tables.
+"""
+
+import random
+import time
+
+from repro.core import DissentSession, Policy
+from repro.core.adversary import DisruptorClient
+from repro.sim.roundsim import simulate_disruption_recovery
+from repro.verdict.hybrid import HybridSession, build_hybrid_with_disruptor
+from repro.verdict.session import VerdictSession
+
+_PAYLOAD = 24
+
+
+def _xor_session(num_servers=3, num_clients=6, seed=11):
+    session = DissentSession.build(
+        num_servers=num_servers, num_clients=num_clients, seed=seed
+    )
+    session.setup()
+    return session
+
+
+def test_bench_round_xor(benchmark):
+    session = _xor_session()
+    session.post(0, b"x" * _PAYLOAD)
+
+    def round_once():
+        session.post(0, b"x" * _PAYLOAD)
+        return session.run_round()
+
+    record = benchmark.pedantic(round_once, rounds=3, iterations=1)
+    assert record.completed
+
+
+def test_bench_round_verifiable(benchmark):
+    session = VerdictSession.build(
+        num_servers=3, num_clients=6, seed=11, slot_payload=_PAYLOAD
+    )
+    target_slot = session.clients[0].slot
+
+    def round_once():
+        session.post(0, b"x" * _PAYLOAD)
+        return session.run_round(target_slot)
+
+    record = benchmark.pedantic(round_once, rounds=3, iterations=1)
+    assert record.payload == b"x" * _PAYLOAD
+    assert not record.rejected_clients
+
+
+def test_bench_round_hybrid_clean(benchmark):
+    session = HybridSession.build(num_servers=3, num_clients=6, seed=11)
+    session.setup()
+    session.post(0, b"x" * _PAYLOAD)
+
+    def round_once():
+        session.post(0, b"x" * _PAYLOAD)
+        return session.run_round()
+
+    record = benchmark.pedantic(round_once, rounds=3, iterations=1)
+    assert record.completed
+    assert not session.blames
+
+
+def _drive_to_corruption(session, victim=1, max_rounds=16):
+    """Run fast rounds until the disruptor corrupts the victim's slot."""
+    session.post(victim, b"jam me" * 3)
+    for _ in range(max_rounds):
+        record = session.run_round()
+        if getattr(session, "blames", None) and session.blames[-1].status == "blamed":
+            return record
+        if record.shuffle_requested:
+            return record
+    raise AssertionError("disruption never surfaced")
+
+
+def test_bench_time_to_blame_hybrid(benchmark):
+    """Verifiable replay latency, measured on a freshly corrupted round."""
+    session, _ = build_hybrid_with_disruptor(seed=33, flips_per_round=3)
+    _drive_to_corruption(session)
+    blame = session.blames[-1]
+    assert blame.status == "blamed"
+
+    def replay():
+        return session.replay_blame(blame.round_number, blame.slot_index)
+
+    result = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert result.client_culprits == blame.client_culprits
+    assert session.hybrid_counters.accusation_shuffles == 0
+
+
+def test_bench_time_to_blame_accusation(benchmark):
+    """The §3.9 path on the same attack: accusation shuffle + trace."""
+    rng = random.Random(33)
+    from repro.core.client import DissentClient
+    from repro.core.server import DissentServer
+    from repro.core.session import build_keys
+
+    built = build_keys("test-256", 3, 6, None, rng)
+    servers = [
+        DissentServer(built.definition, j, key, random.Random(rng.getrandbits(64)))
+        for j, key in enumerate(built.server_keys)
+    ]
+    clients = [
+        (DisruptorClient if i == 4 else DissentClient)(
+            built.definition, i, key, random.Random(rng.getrandbits(64))
+        )
+        for i, key in enumerate(built.client_keys)
+    ]
+    session = DissentSession(built.definition, servers, clients, rng)
+    session.setup()
+    clients[4].target_slot = clients[1].slot
+    clients[4].flips_per_round = 3
+    record = _drive_to_corruption(session)
+    assert record.shuffle_requested
+
+    def accuse():
+        return session.run_accusation_phase()
+
+    verdicts = benchmark.pedantic(accuse, rounds=1, iterations=1)
+    assert any(v.culprit_index == 4 for v in verdicts)
+
+
+def test_disruption_recovery_paper_scale(capsys):
+    """Simulated time-to-blame at paper scale (printed with -s)."""
+    rows = [
+        simulate_disruption_recovery(1024, 8, mode)
+        for mode in ("xor", "hybrid", "verifiable")
+    ]
+    assert rows[1].time_to_blame < rows[0].time_to_blame / 10
+    assert rows[2].blame == 0.0 and rows[2].verifiable_overhead_per_round > 0
+    with capsys.disabled():
+        print()
+        print("disruption recovery, 1024 clients / 8 servers (simulated):")
+        print(f"{'mode':12s} {'detect(s)':>10s} {'blame(s)':>10s} "
+              f"{'time-to-blame(s)':>17s} {'clean-round tax(s)':>19s}")
+        for t in rows:
+            print(
+                f"{t.mode:12s} {t.detection:10.2f} {t.blame:10.2f} "
+                f"{t.time_to_blame:17.2f} {t.verifiable_overhead_per_round:19.2f}"
+            )
+
+
+def test_throughput_comparison_real_crypto(capsys):
+    """Wall-clock payload throughput of the three modes on small groups."""
+    results = {}
+
+    session = _xor_session(seed=21)
+    t0 = time.perf_counter()
+    rounds = 4
+    for _ in range(rounds):
+        session.post(0, b"y" * _PAYLOAD)
+        session.run_round()
+    results["xor"] = rounds * _PAYLOAD / (time.perf_counter() - t0)
+
+    hybrid = HybridSession.build(num_servers=3, num_clients=6, seed=21)
+    hybrid.setup()
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        hybrid.post(0, b"y" * _PAYLOAD)
+        hybrid.run_round()
+    results["hybrid"] = rounds * _PAYLOAD / (time.perf_counter() - t0)
+
+    verifiable = VerdictSession.build(
+        num_servers=3, num_clients=6, seed=21, slot_payload=_PAYLOAD
+    )
+    slot = verifiable.clients[0].slot
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        verifiable.post(0, b"y" * _PAYLOAD)
+        verifiable.run_round(slot)
+    results["verifiable"] = rounds * _PAYLOAD / (time.perf_counter() - t0)
+
+    assert all(v > 0 for v in results.values())
+    with capsys.disabled():
+        print()
+        print("payload throughput, 3 servers / 6 clients, real crypto:")
+        for mode, bps in results.items():
+            print(f"  {mode:11s} {bps:10.0f} B/s")

@@ -8,6 +8,7 @@ verifiable accusation shuffle, and the servers trace the witness bit to
 the disruptor — who is expelled without re-forming the group.
 """
 
+import argparse
 import random
 
 from repro.core import DissentSession
@@ -17,7 +18,11 @@ from repro.core.server import DissentServer
 from repro.core.session import build_keys
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=14)
+    args = parser.parse_args(argv)
+
     rng = random.Random(11)
     built = build_keys("test-256", 3, 6, None, rng)
     servers = [
@@ -40,7 +45,7 @@ def main() -> None:
 
     session.post(2, b"the message they tried to jam")
 
-    for _ in range(14):
+    for _ in range(args.rounds):
         record = session.run_round()
         if victim.disruption_detected and victim.pending_accusation:
             acc = victim.pending_accusation
@@ -63,7 +68,8 @@ def main() -> None:
     delivered = [m for (_, _, m) in session.delivered_messages(0)]
     assert b"the message they tried to jam" in delivered
     print("message delivered after expulsion:", delivered[-1].decode())
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

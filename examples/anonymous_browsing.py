@@ -9,6 +9,7 @@ Part 2 — performance: model the paper's four Figure 10 configurations
 Alexa Top-100 corpus, inside the WiNoN isolation boundary.
 """
 
+import argparse
 import statistics
 
 from repro.apps import (
@@ -64,6 +65,13 @@ def browsing_study() -> None:
             print(f"{action}: BLOCKED ({type(exc).__name__})")
 
 
-if __name__ == "__main__":
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args(argv)
     tunnel_demo()
     browsing_study()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

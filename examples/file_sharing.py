@@ -6,20 +6,25 @@ reassembles it from the sender's slot, which grows via the length field
 (§3.8) and shrinks back when the transfer completes.
 """
 
+import argparse
 import hashlib
 
 from repro.apps import FileSharingApp
 from repro.core import DissentSession, Policy
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kilobytes", type=int, default=24)
+    args = parser.parse_args(argv)
+
     session = DissentSession.build(
         num_servers=3, num_clients=4, seed=9, policy=Policy(alpha=0.0)
     )
     session.setup()
     app = FileSharingApp(session, chunk_payload=2048)
 
-    data = hashlib.shake_256(b"demo corpus").digest(24 * 1024)
+    data = hashlib.shake_256(b"demo corpus").digest(args.kilobytes * 1024)
     file_id = app.share(1, data)
     print(f"client-1 shares {len(data)} bytes anonymously (file {file_id.hex()})")
 
@@ -32,7 +37,8 @@ def main() -> None:
     capacities = [r.output.cleartext and len(r.output.cleartext) for r in session.records if r.output]
     print(f"round sizes grew from {min(capacities)} to {max(capacities)} bytes "
           "as the slot expanded, then shrank back")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

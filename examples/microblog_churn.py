@@ -7,13 +7,17 @@ complete without the offline clients — no restarts — and the published
 participation counts track the anonymity set size round by round.
 """
 
+import argparse
 import random
 
 from repro.apps import MicroblogFeed
 from repro.core import DissentSession, Policy
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args(argv)
+
     session = DissentSession.build(
         num_servers=3,
         num_clients=12,
@@ -50,7 +54,8 @@ def main() -> None:
 
     print("\nnote: posts by the same author share a slot (pseudonymity),")
     print("but nothing links a slot to a client identity.")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

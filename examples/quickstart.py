@@ -6,12 +6,21 @@ the scheduling key shuffle, posts two anonymous messages, and shows that
 every member receives them attributed only to pseudonymous slots.
 """
 
+import argparse
+
 from repro.core import DissentSession
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=8)
+    args = parser.parse_args(argv)
+
     # 1. Create a group: fresh keys, anytrust servers, static membership.
-    session = DissentSession.build(num_servers=3, num_clients=8, seed=2012)
+    session = DissentSession.build(
+        num_servers=args.servers, num_clients=args.clients, seed=2012
+    )
 
     # 2. The verifiable key shuffle assigns every client a secret slot.
     session.setup()
@@ -21,8 +30,8 @@ def main() -> None:
         print(f"  {client.name} -> slot {client.slot}")
 
     # 3. Two clients queue anonymous messages.
-    session.post(2, b"meet at the fountain at noon")
-    session.post(5, b"bring the documents")
+    session.post(2 % args.clients, b"meet at the fountain at noon")
+    session.post(5 % args.clients, b"bring the documents")
 
     # 4. Run DC-net rounds until delivery (request bit -> slot -> send).
     rounds = session.run_until_quiet()
@@ -34,7 +43,8 @@ def main() -> None:
 
     participation = session.records[-1].participation
     print(f"\nlast round participation count: {participation} (published, §3.7)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

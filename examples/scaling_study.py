@@ -5,10 +5,15 @@ Runs the simulated-mode experiment behind every figure in the paper's §5
 and prints the tables EXPERIMENTS.md records.  Takes a couple of minutes.
 """
 
+import argparse
+
 from repro.bench import ablations, fig6, fig7, fig8, fig9, fig10, fig11
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args(argv)
+
     for module in (fig6, fig7, fig8, fig9, fig10, fig11):
         print(module.run().table())
         print()
@@ -17,7 +22,8 @@ def main() -> None:
     print(ablations.topology_ablation().table())
     print()
     print(ablations.churn_restart_ablation().table())
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -19,7 +19,7 @@ Public surface:
 from repro.core.config import GroupDefinition, Policy, make_group_definition
 from repro.core.client import DissentClient
 from repro.core.server import DissentServer
-from repro.core.session import DissentSession, build_keys
+from repro.core.session import DissentSession, build_keys, build_session
 from repro.core.rounds import RoundOutput, RoundRecord, RoundStatus
 from repro.core.policy import (
     FractionMultiplierPolicy,
@@ -37,6 +37,7 @@ __all__ = [
     "DissentServer",
     "DissentSession",
     "build_keys",
+    "build_session",
     "RoundOutput",
     "RoundRecord",
     "RoundStatus",

@@ -35,6 +35,9 @@ _GROUP_NAMES = {
     "tiny-64": tiny_group,
 }
 
+#: DC-net operating modes a group policy may select (see Policy.dcnet_mode).
+DCNET_MODES = frozenset({"xor", "verifiable", "hybrid"})
+
 
 @dataclass(frozen=True)
 class Policy:
@@ -63,6 +66,12 @@ class Policy:
             shuffle.
         archive_rounds: how many past rounds servers retain for accusation
             tracing.
+        dcnet_mode: which DC-net pipeline the group runs (Verdict's three
+            operating points).  ``"xor"`` is the paper's fast reactive
+            pipeline; ``"verifiable"`` proves every ciphertext well-formed
+            before combining (disruptors named in-round); ``"hybrid"`` runs
+            the XOR fast path and retroactively replays corrupted rounds in
+            verifiable mode, skipping the accusation shuffle.
     """
 
     alpha: float = 0.9
@@ -75,6 +84,7 @@ class Policy:
     hard_deadline: float = 120.0
     shuffle_soundness_bits: int = 16
     archive_rounds: int = 8
+    dcnet_mode: str = "xor"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -97,6 +107,11 @@ class Policy:
             raise ConfigError("shuffle_soundness_bits must be positive")
         if self.archive_rounds < 1:
             raise ConfigError("archive_rounds must be positive")
+        if self.dcnet_mode not in DCNET_MODES:
+            raise ConfigError(
+                f"dcnet_mode must be one of {sorted(DCNET_MODES)}, "
+                f"got {self.dcnet_mode!r}"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -110,6 +125,7 @@ class Policy:
             "hard_deadline": self.hard_deadline,
             "shuffle_soundness_bits": self.shuffle_soundness_bits,
             "archive_rounds": self.archive_rounds,
+            "dcnet_mode": self.dcnet_mode,
         }
 
     @classmethod

@@ -59,7 +59,11 @@ def encrypt(key: PublicKey, message_element: int, r: int | None = None) -> Ciphe
     group.require_element(message_element, "plaintext element")
     if r is None:
         r = group.random_scalar()
-    return Ciphertext(group.exp(group.g, r), group.mul(message_element, group.exp(key.y, r)))
+    # The generator's fixed-base table always pays off; the public key may
+    # be transient (fresh per-shuffle session keys), so it stays on plain
+    # pow — callers that encrypt many times under one long-lived key (the
+    # verdict DC-net) use group.exp_fixed on it directly.
+    return Ciphertext(group.exp_g(r), group.mul(message_element, group.exp(key.y, r)))
 
 
 def decrypt(key: PrivateKey, ct: Ciphertext) -> int:

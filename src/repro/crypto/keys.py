@@ -24,7 +24,7 @@ class PrivateKey:
     def __post_init__(self) -> None:
         if not 1 <= self.x < self.group.q:
             raise ValueError("private scalar out of range")
-        object.__setattr__(self, "y", self.group.exp(self.group.g, self.x))
+        object.__setattr__(self, "y", self.group.exp_g(self.x))
 
     @classmethod
     def generate(cls, group: SchnorrGroup, rng=None) -> "PrivateKey":

@@ -52,7 +52,7 @@ def sign(key: PrivateKey, message: bytes) -> Signature:
     """Sign ``message`` with a fresh per-signature nonce."""
     group = key.group
     k = group.random_scalar()
-    t = group.exp(group.g, k)
+    t = group.exp_g(k)
     c = challenge_scalar(
         group.q,
         _DOMAIN,
@@ -71,7 +71,7 @@ def verify(key: PublicKey, message: bytes, signature: Signature) -> bool:
         return False
     # t' = g**s / y**c
     t = group.mul(
-        group.exp(group.g, signature.s),
+        group.exp_g(signature.s),
         group.inv(group.exp(key.y, signature.c)),
     )
     expected = challenge_scalar(

@@ -1,0 +1,53 @@
+"""Verdict-style verifiable DC-nets (proactive accountability).
+
+Two operating modes layered on the existing crypto stack:
+
+* :class:`~repro.verdict.session.VerdictSession` — every ciphertext is
+  proven well-formed before combining; disruptors are named in-round.
+* :class:`~repro.verdict.hybrid.HybridSession` — the XOR fast path runs
+  untouched; a corrupted round is replayed in verifiable mode to name the
+  disruptor without the §3.9 accusation shuffle.
+
+See *Proactively Accountable Anonymous Messaging in Verdict*
+(Corrigan-Gibbs, Wolinsky, Ford) in PAPERS.md.
+"""
+
+from repro.verdict.ciphertext import (
+    VerdictClientCiphertext,
+    VerdictServerShare,
+    chunk_count,
+    make_client_ciphertext,
+    verify_client_ciphertext,
+)
+from repro.verdict.session import (
+    DisruptingVerdictClient,
+    VerdictClient,
+    VerdictRoundResult,
+    VerdictServer,
+    VerdictSession,
+)
+from repro.verdict.hybrid import (
+    HybridBlameRecord,
+    HybridClient,
+    HybridDisruptorClient,
+    HybridSession,
+    pad_commitment_digest,
+)
+
+__all__ = [
+    "VerdictClientCiphertext",
+    "VerdictServerShare",
+    "chunk_count",
+    "make_client_ciphertext",
+    "verify_client_ciphertext",
+    "DisruptingVerdictClient",
+    "VerdictClient",
+    "VerdictRoundResult",
+    "VerdictServer",
+    "VerdictSession",
+    "HybridBlameRecord",
+    "HybridClient",
+    "HybridDisruptorClient",
+    "HybridSession",
+    "pad_commitment_digest",
+]

@@ -1,0 +1,578 @@
+"""Verdict's hybrid mode: fast XOR rounds, verifiable retroactive blame.
+
+Fully verifiable rounds (:mod:`repro.verdict.session`) pay public-key
+crypto per chunk per member; the XOR pipeline pays hash-speed PRNG per
+byte.  Verdict's hybrid mode keeps the cheap path hot and reserves the
+expensive machinery for the (rare) disrupted round:
+
+* **Fast path** — rounds run on the *unmodified* core pipeline
+  (:class:`repro.core.session.DissentSession`).  The only addition rides
+  alongside each submission: a commitment to the PRNG pads the client
+  XORed in (one digest per server, each verifiable for free by the server
+  that shares the pad's seed, since it derives the same pad when combining).
+  Miscommitting is caught at submission time.
+
+* **Disruption detection** — corruption is *publicly* visible: the
+  randomized padding check (§3.9) fails for everyone decoding the slot,
+  so no anonymous accusation is needed to establish *that* a round broke.
+
+* **Verifiable replay** — the session replays the corrupted slot in
+  verifiable mode against the archived round.  Every client that was in
+  the round's final list re-submits its claimed slot-region contribution
+  as ElGamal chunks with the disjunctive proof ("encrypts identity OR I
+  hold the slot key").  A client that cannot prove its replay is named on
+  the spot.  The surviving product opens to the slot's *true* bytes —
+  publishing only what the owner already intended to broadcast.
+
+* **Naming without the shuffle** — with the true bytes public, witness
+  positions (sent 0, flipped to 1) are computable by anyone, so the
+  existing trace machinery (:func:`repro.core.accusation.run_trace` with
+  its signed-envelope evidence and DLEQ rebuttals) runs *directly* —
+  skipping the §3.9 detour entirely: no shuffle-request field gamble, no
+  accusation shuffle cascade, no pseudonym-signed accusation.  Owner
+  anonymity is preserved exactly as in the paper's trace: at a witness
+  position every honest client's cleartext bit is 0, owner included.
+
+Time-to-blame therefore drops from
+
+    detect → request (2^-k gamble) → accusation shuffle → trace
+
+to
+
+    detect → replay (N·W proven chunks) → trace
+
+which :mod:`benchmarks.bench_verdict` measures head to head.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.accusation import run_trace, TraceVerdict
+from repro.core.client import DissentClient
+from repro.core.schedule import Scheduler
+from repro.core.session import DissentSession
+from repro.crypto import elgamal, prng
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import PublicKey
+from repro.errors import ProtocolError
+from repro.util.bytesops import get_bit
+from repro.util.serialization import pack_fields
+from repro.verdict.ciphertext import (
+    chunk_count,
+    combine_client_ciphertexts,
+    decode_round,
+    make_client_ciphertext,
+    make_server_share,
+    open_round,
+    verify_client_ciphertext,
+    verify_server_share,
+)
+
+_PAD_COMMIT_DOMAIN = "dissent.verdict.pad-commit.v1"
+_REPLAY_DOMAIN = b"dissent.verdict.hybrid-replay.v1"
+
+
+def pad_commitment_digest(
+    group_id: bytes,
+    round_number: int,
+    client_index: int,
+    server_index: int,
+    pad: bytes,
+) -> bytes:
+    """Digest binding one client's pair pad for one round and server."""
+    return sha256(
+        pack_fields(
+            _PAD_COMMIT_DOMAIN, group_id, round_number, client_index, server_index
+        ),
+        pad,
+    )
+
+
+class HybridClient(DissentClient):
+    """A Dissent client that keeps the evidence hybrid blame needs.
+
+    Behaviourally identical to :class:`DissentClient` on the wire (same
+    randomness consumption, same ciphertexts — clean hybrid rounds are
+    bit-for-bit the XOR fast path); additionally retains its sent slot
+    records past output handling and can commit to its pads and replay a
+    round verifiably.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.sent_history: dict[int, object] = {}
+
+    def build_cleartext(self, round_number: int) -> bytes:
+        cleartext = super().build_cleartext(round_number)
+        # _sent is popped when the output arrives; blame needs it later.
+        self.sent_history[round_number] = self._sent.get(round_number)
+        return cleartext
+
+    def pad_commitment(self, round_number: int, length: int) -> bytes:
+        """Commit to the pair pad shared with this client's upstream server.
+
+        One digest of one stream: the upstream server re-derives the same
+        pad when combining, so the check costs it a single hash — the fast
+        path stays fast.  (Committing to all M pads would double the
+        client's per-round PRNG work for digests no server could check.)
+        """
+        upstream = self.index % self.definition.num_servers
+        return pad_commitment_digest(
+            self.group_id,
+            round_number,
+            self.index,
+            upstream,
+            prng.pair_stream(self.secrets[upstream], round_number, length),
+        )
+
+    def replay_submission(
+        self,
+        round_number: int,
+        slot_index: int,
+        slot_key_element: int,
+        width: int,
+        session_id: bytes,
+        combined_key: PublicKey,
+    ):
+        """Verifiably re-assert this client's slot-region contribution."""
+        payload = None
+        slot_private = None
+        record = self.sent_history.get(round_number)
+        if slot_index == self.slot and record is not None:
+            payload = record.slot_bytes
+            slot_private = self.pseudonym
+        return make_client_ciphertext(
+            self.group,
+            combined_key,
+            slot_key_element,
+            self.index,
+            session_id,
+            round_number,
+            slot_index,
+            width,
+            payload=payload,
+            slot_private=slot_private,
+            rng=self.rng,
+        )
+
+
+class HybridDisruptorClient(HybridClient):
+    """A hybrid-mode member that jams another slot (the §3.9 attack).
+
+    Identical on the wire to :class:`repro.core.adversary.DisruptorClient`
+    but retains hybrid evidence; during the verifiable replay it claims an
+    all-zero contribution (an honestly proven identity encryption — lying
+    about the *content* is the only move left), which the witness-bit trace
+    then contradicts with its own signed ciphertext.
+    """
+
+    def __init__(
+        self, *args, target_slot: int | None = None, flips_per_round: int = 1, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.target_slot = target_slot
+        self.flips_per_round = flips_per_round
+
+    def produce_ciphertext(self, round_number: int):
+        from repro.net.message import CLIENT_CIPHERTEXT, make_envelope
+        from repro.util.bytesops import flip_bit
+
+        envelope = super().produce_ciphertext(round_number)
+        layout = self.scheduler.current_layout()
+        if self.target_slot is None or not layout.is_open(self.target_slot):
+            return envelope
+        start, end = layout.slot_bit_range(self.target_slot)
+        body = envelope.body
+        for _ in range(self.flips_per_round):
+            body = flip_bit(body, self.rng.randrange(start, end))
+        return make_envelope(
+            self.key,
+            CLIENT_CIPHERTEXT,
+            self.name,
+            self.group_id,
+            round_number,
+            body,
+        )
+
+
+@dataclass(frozen=True)
+class HybridBlameRecord:
+    """Outcome of one verifiable replay of a corrupted round."""
+
+    round_number: int
+    slot_index: int
+    status: str  # "blamed" | "no-witness" | "inconclusive"
+    rejected_replays: tuple[int, ...]
+    verdicts: tuple[TraceVerdict, ...]
+    witness_bit: int | None
+    true_slot_bytes: bytes
+
+    @property
+    def client_culprits(self) -> tuple[int, ...]:
+        named = list(self.rejected_replays)
+        named.extend(
+            v.culprit_index for v in self.verdicts if v.culprit_kind == "client"
+        )
+        return tuple(sorted(set(named)))
+
+    @property
+    def server_culprits(self) -> tuple[int, ...]:
+        return tuple(
+            sorted(
+                {v.culprit_index for v in self.verdicts if v.culprit_kind == "server"}
+            )
+        )
+
+
+@dataclass
+class HybridCostCounters:
+    """Blame-path accounting (compared against accusation shuffles)."""
+
+    fast_rounds: int = 0
+    corrupted_rounds: int = 0
+    replay_proofs_checked: int = 0
+    accusation_shuffles: int = 0  # stays zero: the point of hybrid mode
+
+
+class HybridSession(DissentSession):
+    """A Dissent session in Verdict hybrid mode.
+
+    Clean rounds are exactly the XOR fast path (same bytes, same
+    signatures).  Corrupted rounds trigger a verifiable replay instead of
+    the §3.9 accusation shuffle; :meth:`run_accusation_phase` is never
+    invoked by this class.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.monitor = Scheduler(self.definition.num_clients, self.definition.policy)
+        self.blames: list[HybridBlameRecord] = []
+        self.pad_archive: dict[int, dict[int, tuple[bytes, ...]]] = {}
+        self.hybrid_counters = HybridCostCounters()
+
+    @classmethod
+    def build(
+        cls,
+        group_name: str = "test-256",
+        num_servers: int = 3,
+        num_clients: int = 8,
+        policy=None,
+        seed: int | None = None,
+        client_factory=HybridClient,
+        server_factory=None,
+    ) -> "HybridSession":
+        from repro.core.server import DissentServer
+
+        return super().build(
+            group_name,
+            num_servers,
+            num_clients,
+            policy,
+            seed,
+            client_factory=client_factory,
+            server_factory=server_factory or DissentServer,
+        )
+
+    # ------------------------------------------------------------------
+    # Fast path + detection
+    # ------------------------------------------------------------------
+
+    def run_round(self, online: set[int] | None = None):
+        r = self.round_number
+        length = self.monitor.current_layout().total_bytes
+        self._collect_pad_commitments(r, length, online)
+        record = super().run_round(online)
+        if record.completed:
+            self.hybrid_counters.fast_rounds += 1
+            contents = self.monitor.advance(record.output.cleartext)
+            for content in contents:
+                if content.is_corrupted:
+                    self.hybrid_counters.corrupted_rounds += 1
+                    self._handle_disruption(r, content.slot_index)
+        self._trim_hybrid_archives()
+        return record
+
+    def _collect_pad_commitments(
+        self, round_number: int, length: int, online: set[int] | None
+    ) -> None:
+        """Each client commits to its upstream pad; the server spot-checks.
+
+        In a deployment the commitment rides the submission envelope; the
+        upstream server verifies it against the pad it derives anyway when
+        combining, so the check is one extra hash.  The digests are
+        archived alongside the round and re-checked by the verifiable
+        replay, binding the replayed round to the pads actually used.
+        """
+        if online is None:
+            online = set(range(self.definition.num_clients))
+        archive: dict[int, bytes] = {}
+        for i in sorted(online - self.expelled):
+            client = self.clients[i]
+            if not isinstance(client, HybridClient):
+                continue
+            digest = client.pad_commitment(round_number, length)
+            upstream = i % self.definition.num_servers
+            expected = pad_commitment_digest(
+                self.servers[upstream].group_id,
+                round_number,
+                i,
+                upstream,
+                prng.pair_stream(
+                    self.servers[upstream].secrets[i], round_number, length
+                ),
+            )
+            if digest != expected:
+                # Proactive rejection: a miscommitting client is named
+                # before the round even runs.
+                self.expel(i)
+                continue
+            archive[i] = digest
+        self.pad_archive[round_number] = archive
+
+    def _trim_hybrid_archives(self) -> None:
+        """Blame can only reach archived rounds; drop evidence past that."""
+        keep = self.definition.policy.archive_rounds
+        while len(self.pad_archive) > keep:
+            del self.pad_archive[min(self.pad_archive)]
+        for client in self.clients:
+            if isinstance(client, HybridClient):
+                history = client.sent_history
+                while len(history) > keep:
+                    del history[min(history)]
+
+    def _handle_disruption(self, round_number: int, slot_index: int) -> None:
+        blame = self.replay_blame(round_number, slot_index)
+        self.blames.append(blame)
+        for culprit in blame.client_culprits:
+            if culprit not in self.expelled:
+                self.expel(culprit)
+        for culprit in blame.server_culprits:
+            self.convicted_servers.add(culprit)
+        # The replay replaces the accusation path: clear any pending
+        # pseudonym accusations so no shuffle request goes on the wire.
+        for client in self.clients:
+            client.pending_accusation = None
+            client._accusation_submitted = False
+
+    # ------------------------------------------------------------------
+    # Verifiable replay (the blame path)
+    # ------------------------------------------------------------------
+
+    def replay_blame(self, round_number: int, slot_index: int) -> HybridBlameRecord:
+        """Replay one corrupted slot in verifiable mode and name the culprit."""
+        group = self.definition.group
+        verifier = self.servers[0]
+        archive = verifier.archive.get(round_number)
+        if archive is None:
+            raise ProtocolError(f"round {round_number} is no longer archived")
+        start, end = archive.layout.slot_byte_range(slot_index)
+        slot_len = end - start
+        width = chunk_count(group, slot_len)
+        slot_key_element = verifier.slot_keys[slot_index]
+        combined = elgamal.combined_key(list(self.definition.server_keys))
+        session_id = sha256(_REPLAY_DOMAIN, self.definition.group_id())
+
+        participants = [
+            i for i in archive.final_list if i not in self.expelled
+        ]
+        # Re-check the archived pad commitments for the corrupted round:
+        # the replay is only meaningful against the pads the trace will
+        # disclose, and the commitment is what binds the two.
+        committed = self.pad_archive.get(round_number, {})
+        length = archive.layout.total_bytes
+        rejected: list[int] = []
+        for i in list(participants):
+            digest = committed.get(i)
+            if digest is None:
+                continue  # non-hybrid client or pre-archive round
+            upstream = i % self.definition.num_servers
+            expected = pad_commitment_digest(
+                self.definition.group_id(),
+                round_number,
+                i,
+                upstream,
+                prng.pair_stream(
+                    self.servers[upstream].secrets[i], round_number, length
+                ),
+            )
+            if digest != expected:
+                rejected.append(i)
+                participants.remove(i)
+        submissions = []
+        for i in participants:
+            submission = self.clients[i].replay_submission(
+                round_number, slot_index, slot_key_element, width, session_id, combined
+            )
+            self.hybrid_counters.replay_proofs_checked += width
+            if verify_client_ciphertext(
+                group,
+                combined,
+                slot_key_element,
+                session_id,
+                round_number,
+                slot_index,
+                width,
+                submission,
+            ):
+                submissions.append(submission)
+            else:
+                rejected.append(i)
+
+        a_parts, b_parts = combine_client_ciphertexts(group, submissions, width)
+        shares = []
+        bad_servers: list[TraceVerdict] = []
+        for server in self.servers:
+            share = make_server_share(
+                group,
+                server.key,
+                server.index,
+                a_parts,
+                session_id,
+                round_number,
+                slot_index,
+            )
+            if verify_server_share(
+                group,
+                self.definition.server_keys[server.index],
+                a_parts,
+                session_id,
+                round_number,
+                slot_index,
+                share,
+            ):
+                shares.append(share)
+            else:
+                bad_servers.append(
+                    TraceVerdict("server", server.index, "invalid replay share")
+                )
+        if bad_servers:
+            return HybridBlameRecord(
+                round_number,
+                slot_index,
+                "blamed",
+                tuple(rejected),
+                tuple(bad_servers),
+                None,
+                b"",
+            )
+
+        true_bytes = decode_round(group, open_round(group, b_parts, shares))
+        if not true_bytes:
+            true_bytes = bytes(slot_len)  # silent slot: all-zero contribution
+        if len(true_bytes) != slot_len:
+            return HybridBlameRecord(
+                round_number,
+                slot_index,
+                "inconclusive",
+                tuple(rejected),
+                (),
+                None,
+                true_bytes,
+            )
+
+        corrupted = archive.cleartext[start:end]
+        witness = None
+        for offset in range(8 * slot_len):
+            if get_bit(true_bytes, offset) == 0 and get_bit(corrupted, offset) == 1:
+                witness = 8 * start + offset
+                break
+        if witness is None:
+            status = "blamed" if rejected else "no-witness"
+            return HybridBlameRecord(
+                round_number,
+                slot_index,
+                status,
+                tuple(rejected),
+                (),
+                None,
+                true_bytes,
+            )
+
+        verdicts = self._trace_witness(round_number, witness, archive)
+        status = "blamed" if (rejected or verdicts) else "no-witness"
+        return HybridBlameRecord(
+            round_number,
+            slot_index,
+            status,
+            tuple(rejected),
+            tuple(verdicts),
+            witness,
+            true_bytes,
+        )
+
+    def _trace_witness(
+        self, round_number: int, witness_bit: int, archive
+    ) -> list[TraceVerdict]:
+        """Run the archived-evidence trace directly at a public witness bit."""
+        evidence = archive.to_evidence()
+        disclosures = [
+            server.trace_disclosure(round_number, witness_bit)
+            for server in self.servers
+        ]
+
+        def rebut(client_index: int, r: int, bit_index: int, claimed):
+            return self.clients[client_index].rebut(r, bit_index, dict(claimed))
+
+        return run_trace(
+            self.definition.group,
+            list(self.definition.client_keys),
+            list(self.definition.server_keys),
+            self.definition.group_id(),
+            evidence,
+            witness_bit,
+            disclosures,
+            rebut,
+        )
+
+    # ------------------------------------------------------------------
+    # The accusation shuffle must never fire in hybrid mode
+    # ------------------------------------------------------------------
+
+    def run_accusation_phase(self):
+        """Hybrid mode replaces the accusation shuffle with the replay."""
+        self.hybrid_counters.accusation_shuffles += 1
+        raise ProtocolError(
+            "hybrid mode handles disruption by verifiable replay; "
+            "the accusation shuffle should never be invoked"
+        )
+
+
+def build_hybrid_with_disruptor(
+    num_servers: int = 3,
+    num_clients: int = 6,
+    disruptor_index: int = 4,
+    victim_index: int = 1,
+    seed: int = 33,
+    policy=None,
+    flips_per_round: int = 1,
+) -> tuple[HybridSession, int]:
+    """A scheduled hybrid session with one disruptor aimed at one victim.
+
+    Shared by tests, benchmarks, and the demo.  Returns the session and
+    the victim's slot index; the disruptor starts jamming as soon as that
+    slot opens.
+    """
+    from repro.core.server import DissentServer
+    from repro.core.session import build_keys
+
+    rng = random.Random(seed)
+    built = build_keys("test-256", num_servers, num_clients, policy, rng)
+    servers = [
+        DissentServer(built.definition, j, key, random.Random(rng.getrandbits(64)))
+        for j, key in enumerate(built.server_keys)
+    ]
+    clients = []
+    for i, key in enumerate(built.client_keys):
+        factory = HybridDisruptorClient if i == disruptor_index else HybridClient
+        clients.append(
+            factory(built.definition, i, key, random.Random(rng.getrandbits(64)))
+        )
+    session = HybridSession(built.definition, servers, clients, rng)
+    session.setup()
+    victim_slot = session.clients[victim_index].slot
+    disruptor = session.clients[disruptor_index]
+    disruptor.target_slot = victim_slot
+    disruptor.flips_per_round = flips_per_round
+    return session, victim_slot

@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts stay runnable.
+
+Every example exposes ``main(argv) -> int``; the two cheap ones run end to
+end here with reduced parameters, the rest are import-checked so a broken
+import or signature regression fails fast without paying their multi-minute
+runtimes.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "verdict_demo",
+        "accusation_demo",
+        "anonymous_browsing",
+        "file_sharing",
+        "microblog_churn",
+        "scaling_study",
+    ],
+)
+def test_example_exposes_main(name):
+    module = load_example(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs_reduced(capsys):
+    module = load_example("quickstart")
+    assert module.main(["--clients", "6", "--servers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered after" in out
+    assert "meet at the fountain at noon" in out
+
+
+def test_verdict_demo_runs_reduced(capsys):
+    module = load_example("verdict_demo")
+    assert module.main(["--clients", "5", "--servers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "rejected clients" in out
+    assert "accusation shuffles: 0" in out

@@ -116,3 +116,30 @@ class TestMessageEmbedding:
             except CryptoError:
                 failures += 1
         assert failures >= 6  # guard byte catches almost everything
+
+
+class TestFixedBaseExponentiation:
+    def test_matches_pow_for_random_exponents(self, group, rng):
+        for _ in range(16):
+            base = group.random_element(rng)
+            e = rng.randrange(0, 2 * group.q)  # includes >q (reduced) cases
+            assert group.exp_fixed(base, e) == group.exp(base, e)
+
+    def test_generator_shortcut(self, group, rng):
+        e = group.random_scalar(rng)
+        assert group.exp_g(e) == group.exp(group.g, e)
+
+    def test_edge_exponents(self, group):
+        assert group.exp_fixed(group.g, 0) == 1
+        assert group.exp_fixed(group.g, 1) == group.g
+        assert group.exp_fixed(group.g, group.q) == 1
+        assert group.exp_fixed(group.g, group.q + 3) == group.exp(group.g, 3)
+
+    def test_table_is_cached_per_base(self, group):
+        t1 = G._fixed_base_table(group.p, group.q, group.g)
+        t2 = G._fixed_base_table(group.p, group.q, group.g)
+        assert t1 is t2
+
+    def test_tiny_group_full_sweep(self, tiny):
+        for e in range(0, 50):
+            assert tiny.exp_fixed(tiny.g, e) == tiny.exp(tiny.g, e)

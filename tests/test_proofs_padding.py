@@ -120,3 +120,82 @@ class TestPadding:
         message = b"\x00" * 64
         encoded = padding.encode(message)
         assert encoded[padding.OVERHEAD:] != message  # masked, not cleartext
+
+
+class TestDisjunctiveDleq:
+    """The CDS94 OR-composition Verdict's verifiable ciphertexts ride on."""
+
+    def _statements(self, group, rng):
+        """An ElGamal-identity branch and a slot-key branch (Verdict shape)."""
+        combined = group.random_element(rng)
+        r = group.random_scalar(rng)
+        identity_branch = (group.exp(group.g, r), combined, group.exp(combined, r))
+        slot_secret = group.random_scalar(rng)
+        slot_branch = proofs.dlog_statement(group, group.exp(group.g, slot_secret))
+        return identity_branch, r, slot_branch, slot_secret
+
+    def test_either_branch_proves(self, group, rng):
+        st_a, wit_a, st_b, wit_b = self._statements(group, rng)
+        for index, witness in ((0, wit_a), (1, wit_b)):
+            proof = proofs.prove_dleq_or(
+                group, (st_a, st_b), index, witness, b"ctx", rng
+            )
+            assert proofs.verify_dleq_or(group, (st_a, st_b), proof, b"ctx")
+
+    def test_transcript_hides_the_real_branch(self, group, rng):
+        """Both transcripts have identical shape and verify identically."""
+        st_a, wit_a, st_b, wit_b = self._statements(group, rng)
+        via_a = proofs.prove_dleq_or(group, (st_a, st_b), 0, wit_a, b"c", rng)
+        via_b = proofs.prove_dleq_or(group, (st_a, st_b), 1, wit_b, b"c", rng)
+        for proof in (via_a, via_b):
+            assert proofs.verify_dleq_or(group, (st_a, st_b), proof, b"c")
+            assert {type(v) for v in (proof.c1, proof.s1, proof.c2, proof.s2)} == {int}
+
+    def test_one_false_branch_still_proves(self, group, rng):
+        st_a, _, st_b, wit_b = self._statements(group, rng)
+        # Garble branch A so it is false; branch B's witness still suffices.
+        false_a = (st_a[0], st_a[1], group.mul(st_a[2], group.g))
+        proof = proofs.prove_dleq_or(group, (false_a, st_b), 1, wit_b, b"x", rng)
+        assert proofs.verify_dleq_or(group, (false_a, st_b), proof, b"x")
+
+    def test_no_witness_cannot_forge(self, group, rng):
+        st_a, _, st_b, _ = self._statements(group, rng)
+        false_a = (st_a[0], st_a[1], group.mul(st_a[2], group.g))
+        # A wrong witness for either branch yields an invalid transcript.
+        bogus = group.random_scalar(rng)
+        for index in (0, 1):
+            proof = proofs.prove_dleq_or(
+                group, (false_a, st_b), index, bogus, b"x", rng
+            )
+            assert not proofs.verify_dleq_or(group, (false_a, st_b), proof, b"x")
+
+    def test_context_binding(self, group, rng):
+        st_a, wit_a, st_b, _ = self._statements(group, rng)
+        proof = proofs.prove_dleq_or(group, (st_a, st_b), 0, wit_a, b"here", rng)
+        assert not proofs.verify_dleq_or(group, (st_a, st_b), proof, b"elsewhere")
+
+    def test_challenge_split_checked(self, group, rng):
+        st_a, wit_a, st_b, _ = self._statements(group, rng)
+        proof = proofs.prove_dleq_or(group, (st_a, st_b), 0, wit_a, b"s", rng)
+        # Shifting challenge mass between branches breaks the hash relation.
+        shifted = proofs.DleqOrProof(
+            (proof.c1 + 1) % group.q, proof.s1, (proof.c2 - 1) % group.q, proof.s2
+        )
+        assert not proofs.verify_dleq_or(group, (st_a, st_b), shifted, b"s")
+
+    def test_out_of_range_scalars_rejected(self, group, rng):
+        st_a, wit_a, st_b, _ = self._statements(group, rng)
+        proof = proofs.prove_dleq_or(group, (st_a, st_b), 0, wit_a, b"s", rng)
+        broken = proofs.DleqOrProof(proof.c1, proof.s1 + group.q, proof.c2, proof.s2)
+        assert not proofs.verify_dleq_or(group, (st_a, st_b), broken, b"s")
+
+    def test_invalid_known_index_raises(self, group, rng):
+        st_a, wit_a, st_b, _ = self._statements(group, rng)
+        with pytest.raises(InvalidProof):
+            proofs.prove_dleq_or(group, (st_a, st_b), 2, wit_a)
+
+    def test_dlog_statement_degenerates_to_pok(self, group, rng):
+        x = group.random_scalar(rng)
+        y = group.exp(group.g, x)
+        statement = proofs.dlog_statement(group, y)
+        assert statement == (y, group.g, y)
