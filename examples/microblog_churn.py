@@ -5,26 +5,39 @@ A 12-client group posts to a shared feed while clients drop offline and
 return between rounds.  Dissent's client/server coin graph means rounds
 complete without the offline clients — no restarts — and the published
 participation counts track the anonymity set size round by round.
+
+``--mode hybrid`` runs the identical app over Verdict's hybrid DC-net
+(``Policy.dcnet_mode``): the feed code does not change, clean rounds stay
+on the XOR fast path, and any disruption would be blamed by verifiable
+replay instead of an accusation shuffle.
 """
 
 import argparse
 import random
 
 from repro.apps import MicroblogFeed
-from repro.core import DissentSession, Policy
+from repro.core import Policy, build_session
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.parse_args(argv)
+    parser.add_argument(
+        "--mode",
+        choices=("xor", "hybrid"),
+        default="xor",
+        help="DC-net pipeline to run the unchanged app over",
+    )
+    args = parser.parse_args(argv)
 
-    session = DissentSession.build(
+    session = build_session(
         num_servers=3,
         num_clients=12,
         seed=7,
-        policy=Policy(alpha=0.5),  # tolerate a 50% participation drop
+        # alpha=0.5: tolerate a 50% participation drop under churn.
+        policy=Policy(alpha=0.5, dcnet_mode=args.mode),
     )
     session.setup()
+    print(f"dcnet mode: {args.mode} ({type(session).__name__})")
     feed = MicroblogFeed(session)
     rng = random.Random(42)
 

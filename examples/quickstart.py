@@ -34,8 +34,9 @@ def main(argv: list[str] | None = None) -> int:
     session.post(5 % args.clients, b"bring the documents")
 
     # 4. Run DC-net rounds until delivery (request bit -> slot -> send).
-    rounds = session.run_until_quiet()
-    print(f"\ndelivered after {rounds} rounds")
+    outcome = session.run_until_quiet()
+    assert outcome.drained, "traffic still queued after the round budget"
+    print(f"\ndelivered after {outcome.rounds_used} rounds")
 
     # 5. Every member sees the same messages, attributed to slots only.
     for round_number, slot, message in session.delivered_messages(0):

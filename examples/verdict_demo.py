@@ -32,12 +32,14 @@ def verifiable_demo(num_servers: int, num_clients: int) -> None:
     record = session.run_round()
     print(f"round {record.round_number}: rejected clients "
           f"{list(record.rejected_clients)} (proof verification failed)")
-    rounds = session.run_until_quiet()
+    outcome = session.run_until_quiet()
+    assert outcome.drained
     for round_number, slot, message in session.delivered_messages(0):
         print(f"  round {round_number}, slot {slot}: {message.decode()}")
     counters = session.total_counters()
-    print(f"proofs checked: {counters.client_proofs_checked}, "
-          f"rejected submissions: {counters.rejected_submissions}")
+    print(f"proofs made: {counters.client_proofs_made}, checked: "
+          f"{counters.client_proofs_checked} (one batched multi-exp per "
+          f"round), rejected submissions: {counters.rejected_submissions}")
 
 
 def hybrid_demo(num_servers: int, num_clients: int) -> None:

@@ -20,7 +20,7 @@ from repro.core.config import GroupDefinition, Policy, make_group_definition
 from repro.core.client import DissentClient
 from repro.core.server import DissentServer
 from repro.core.session import DissentSession, build_keys, build_session
-from repro.core.rounds import RoundOutput, RoundRecord, RoundStatus
+from repro.core.rounds import QuietOutcome, RoundOutput, RoundRecord, RoundStatus
 from repro.core.policy import (
     FractionMultiplierPolicy,
     ParticipationTracker,
@@ -38,6 +38,7 @@ __all__ = [
     "DissentSession",
     "build_keys",
     "build_session",
+    "QuietOutcome",
     "RoundOutput",
     "RoundRecord",
     "RoundStatus",

@@ -399,6 +399,17 @@ class DissentClient:
             self.pending_accusation = None
         self._accusation_submitted = False
 
+    def reset_accusation(self) -> None:
+        """Drop any pending accusation and its submission state.
+
+        Public entry point for blame paths that supersede the §3.9
+        accusation shuffle (hybrid mode's verifiable replay): once the
+        disruptor is named by other means, no shuffle request should ride
+        the next round's cleartext.
+        """
+        self.pending_accusation = None
+        self._accusation_submitted = False
+
     # ------------------------------------------------------------------
     # Rebuttal (§3.9, trace case c)
     # ------------------------------------------------------------------

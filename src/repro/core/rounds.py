@@ -53,6 +53,22 @@ class RoundOutput:
 
 
 @dataclass(frozen=True)
+class QuietOutcome:
+    """Result of running rounds until traffic drains (or a budget runs out).
+
+    ``run_until_quiet`` used to return a bare round count, which conflated
+    "drained exactly on the last allowed round" with "gave up with traffic
+    still queued" — callers must check :attr:`drained` explicitly.
+    """
+
+    rounds_used: int
+    drained: bool
+
+    def __bool__(self) -> bool:
+        return self.drained
+
+
+@dataclass(frozen=True)
 class RoundRecord:
     """Driver-level summary of a round (sessions and simulators emit these)."""
 

@@ -19,10 +19,25 @@ statement embeds as the degenerate DLEQ ``(u=y, h=g, v=y)``
 All proofs are made non-interactive with Fiat-Shamir; an optional
 ``context`` byte string binds a proof to its use site so transcripts cannot
 be replayed across protocol phases.
+
+**Batch verification.**  DLEQ and OR transcripts carry their commitments
+(``t`` values) rather than the challenge, so each one verifies by checking
+group equations that are *linear in the exponents* — e.g.
+``g**s == t1 * u**c`` with ``c`` recomputed from the hash.  That shape is
+what Verdict exploits (Corrigan-Gibbs, Wolinsky, Ford): raise each
+equation to a short random coefficient, multiply them all together, and
+one multi-exponentiation (:meth:`SchnorrGroup.multiexp`) checks an entire
+round's worth of proofs.  A cheating prover passes only by predicting the
+coefficients (probability ``2**-BATCH_COEFF_BITS``).  When a batch fails,
+:func:`find_invalid_dleq` / :func:`find_invalid_dleq_or` isolate the exact
+culprit set by bisection with a per-proof recheck at the leaves, so blame
+stays bit-identical to checking every proof individually.
 """
 
 from __future__ import annotations
 
+import secrets
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.crypto.groups import SchnorrGroup
@@ -32,6 +47,21 @@ from repro.errors import InvalidProof
 _DOMAIN_POK = b"dissent.schnorr-pok.v1"
 _DOMAIN_DLEQ = b"dissent.chaum-pedersen.v1"
 _DOMAIN_DLEQ_OR = b"dissent.chaum-pedersen-or.v1"
+
+#: Bit length of the random-linear-combination coefficients used by batch
+#: verification.  A batch that accepts an invalid proof requires guessing a
+#: coefficient in advance: probability ``2**-BATCH_COEFF_BITS`` (clamped
+#: below the group order for toy groups).
+BATCH_COEFF_BITS = 128
+
+
+def _batch_coefficient(group: SchnorrGroup, rng=None) -> int:
+    """One short nonzero random coefficient for a batched equation."""
+    bits = min(BATCH_COEFF_BITS, group.q.bit_length() - 1)
+    bound = 1 << bits
+    if rng is None:
+        return 1 + secrets.randbelow(bound - 1)
+    return rng.randrange(1, bound)
 
 
 @dataclass(frozen=True)
@@ -77,10 +107,37 @@ def verify_dlog(group: SchnorrGroup, y: int, proof: SchnorrProof, context: bytes
 
 @dataclass(frozen=True)
 class DleqProof:
-    """Chaum-Pedersen proof that log_g(u) == log_h(v) (challenge form)."""
+    """Chaum-Pedersen proof that log_g(u) == log_h(v) (commitment form).
 
-    c: int
+    Carrying the commitments ``(t1, t2)`` instead of the challenge makes
+    verification two *linear* group equations —
+
+        ``g**s == t1 * u**c``  and  ``h**s == t2 * v**c``
+
+    with ``c`` recomputed from the Fiat-Shamir hash — which is what lets
+    :func:`batch_verify_dleq` fold many proofs into one
+    multi-exponentiation.  Soundness is unchanged: the hash binds the
+    transmitted commitments exactly as the challenge form did.
+    """
+
+    t1: int
+    t2: int
     s: int
+
+
+def _dleq_challenge(
+    group: SchnorrGroup, u: int, h: int, v: int, t1: int, t2: int, context: bytes
+) -> int:
+    return challenge_scalar(
+        group.q,
+        _DOMAIN_DLEQ,
+        context,
+        group.element_to_bytes(h),
+        group.element_to_bytes(u),
+        group.element_to_bytes(v),
+        group.element_to_bytes(t1),
+        group.element_to_bytes(t2),
+    )
 
 
 def prove_dleq(
@@ -96,18 +153,19 @@ def prove_dleq(
     k = group.random_scalar()
     t1 = group.exp_g(k)
     t2 = group.exp(h, k)
-    c = challenge_scalar(
-        group.q,
-        _DOMAIN_DLEQ,
-        context,
-        group.element_to_bytes(h),
-        group.element_to_bytes(u),
-        group.element_to_bytes(v),
-        group.element_to_bytes(t1),
-        group.element_to_bytes(t2),
-    )
+    c = _dleq_challenge(group, u, h, v, t1, t2, context)
     s = (k + c * x) % group.q
-    return DleqProof(c, s)
+    return DleqProof(t1, t2, s)
+
+
+def _dleq_checks(
+    group: SchnorrGroup, u: int, h: int, v: int, proof: DleqProof
+) -> bool:
+    """Structural preconditions shared by single and batched verification."""
+    for value in (u, h, v, proof.t1, proof.t2):
+        if not group.is_element(value):
+            return False
+    return 0 <= proof.s < group.q
 
 
 def verify_dleq(
@@ -119,24 +177,12 @@ def verify_dleq(
     context: bytes = b"",
 ) -> bool:
     """Check that ``(g, u)`` and ``(h, v)`` share a discrete log."""
-    for value, what in ((u, "u"), (h, "h"), (v, "v")):
-        if not group.is_element(value):
-            return False
-    if not (0 <= proof.c < group.q and 0 <= proof.s < group.q):
+    if not _dleq_checks(group, u, h, v, proof):
         return False
-    t1 = group.mul(group.exp_g(proof.s), group.inv(group.exp(u, proof.c)))
-    t2 = group.mul(group.exp(h, proof.s), group.inv(group.exp(v, proof.c)))
-    expected = challenge_scalar(
-        group.q,
-        _DOMAIN_DLEQ,
-        context,
-        group.element_to_bytes(h),
-        group.element_to_bytes(u),
-        group.element_to_bytes(v),
-        group.element_to_bytes(t1),
-        group.element_to_bytes(t2),
-    )
-    return expected == proof.c
+    c = _dleq_challenge(group, u, h, v, proof.t1, proof.t2, context)
+    if group.exp_g(proof.s) != group.mul(proof.t1, group.exp(u, c)):
+        return False
+    return group.exp(h, proof.s) == group.mul(proof.t2, group.exp(v, c))
 
 
 def require_dleq(
@@ -173,16 +219,22 @@ def dlog_statement(group: SchnorrGroup, y: int) -> DleqStatement:
 
 @dataclass(frozen=True)
 class DleqOrProof:
-    """CDS94 OR-proof over two DLEQ statements (split-challenge form).
+    """CDS94 OR-proof over two DLEQ statements (commitment form).
 
-    ``c1 + c2 mod q`` must equal the Fiat-Shamir challenge of the combined
-    transcript; the prover only controls the split, so it can simulate at
-    most one branch.
+    Carries both branches' commitments plus the first branch's challenge;
+    the second branch's challenge is ``c_total - c1 mod q`` where
+    ``c_total`` is the Fiat-Shamir hash of the whole transcript.  The
+    prover only controls the split, so it can simulate at most one branch.
+    Like :class:`DleqProof`, the commitment form turns verification into
+    four linear group equations, enabling :func:`batch_verify_dleq_or`.
     """
 
+    t11: int  # branch-1 commitments (g-side, h-side)
+    t12: int
+    t21: int  # branch-2 commitments
+    t22: int
     c1: int
     s1: int
-    c2: int
     s2: int
 
 
@@ -254,9 +306,41 @@ def prove_dleq_or(
     c_known = (c_total - c_other) % group.q
     s_known = (k + c_known * x) % group.q
 
+    (t11, t12), (t21, t22) = commitments
     if known_index == 0:
-        return DleqOrProof(c_known, s_known, c_other, s_other)
-    return DleqOrProof(c_other, s_other, c_known, s_known)
+        return DleqOrProof(t11, t12, t21, t22, c_known, s_known, s_other)
+    return DleqOrProof(t11, t12, t21, t22, c_other, s_other, s_known)
+
+
+def _or_checks(
+    group: SchnorrGroup,
+    statements: tuple[DleqStatement, DleqStatement],
+    proof: DleqOrProof,
+) -> bool:
+    """Structural preconditions shared by single and batched verification."""
+    scalars = (proof.c1, proof.s1, proof.s2)
+    if not all(0 <= value < group.q for value in scalars):
+        return False
+    elements = (proof.t11, proof.t12, proof.t21, proof.t22)
+    for u, h, v in statements:
+        elements += (u, h, v)
+    return all(group.is_element(value) for value in elements)
+
+
+def _or_split(
+    group: SchnorrGroup,
+    statements: tuple[DleqStatement, DleqStatement],
+    proof: DleqOrProof,
+    context: bytes,
+) -> tuple[int, int]:
+    """Recompute the per-branch challenges from the transcript hash."""
+    c_total = _or_challenge(
+        group,
+        statements,
+        ((proof.t11, proof.t12), (proof.t21, proof.t22)),
+        context,
+    )
+    return proof.c1, (c_total - proof.c1) % group.q
 
 
 def verify_dleq_or(
@@ -266,19 +350,174 @@ def verify_dleq_or(
     context: bytes = b"",
 ) -> bool:
     """Check a :func:`prove_dleq_or` transcript."""
-    scalars = (proof.c1, proof.s1, proof.c2, proof.s2)
-    if not all(0 <= value < group.q for value in scalars):
+    if not _or_checks(group, statements, proof):
         return False
-    for u, h, v in statements:
-        for value in (u, h, v):
-            if not group.is_element(value):
-                return False
-    commitments = []
-    for (u, h, v), c, s in zip(
-        statements, (proof.c1, proof.c2), (proof.s1, proof.s2)
+    c1, c2 = _or_split(group, statements, proof, context)
+    commitments = ((proof.t11, proof.t12), (proof.t21, proof.t22))
+    for (u, h, v), (t1, t2), c, s in zip(
+        statements, commitments, (c1, c2), (proof.s1, proof.s2)
     ):
-        t1 = group.mul(group.exp_g(s), group.inv(group.exp(u, c)))
-        t2 = group.mul(group.exp(h, s), group.inv(group.exp(v, c)))
-        commitments.append((t1, t2))
-    expected = _or_challenge(group, statements, tuple(commitments), context)
-    return (proof.c1 + proof.c2) % group.q == expected
+        if group.exp_g(s) != group.mul(t1, group.exp(u, c)):
+            return False
+        if group.exp(h, s) != group.mul(t2, group.exp(v, c)):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Batched verification: one multi-exponentiation for many proofs
+# ---------------------------------------------------------------------------
+
+#: One DLEQ item for batching: ``(u, h, v, proof, context)``.
+DleqItem = tuple[int, int, int, DleqProof, bytes]
+#: One OR item for batching: ``(statements, proof, context)``.
+DleqOrItem = tuple[tuple[DleqStatement, DleqStatement], DleqOrProof, bytes]
+
+
+def batch_verify_dleq(
+    group: SchnorrGroup,
+    items: Sequence[DleqItem],
+    hot_bases: Sequence[int] = (),
+    rng=None,
+) -> bool:
+    """Check many DLEQ proofs with one multi-exponentiation.
+
+    Each proof's two equations are raised to independent short random
+    coefficients and multiplied into a single product that must equal the
+    identity.  Accepts iff (with overwhelming probability) every proof
+    would pass :func:`verify_dleq` individually; on ``False`` use
+    :func:`find_invalid_dleq` to name exact culprits.
+
+    Args:
+        hot_bases: long-lived bases (server public keys, combined keys)
+            routed through the cached fixed-base tables.
+    """
+    pairs: list[tuple[int, int]] = []
+    g_exponent = 0
+    for u, h, v, proof, context in items:
+        if not _dleq_checks(group, u, h, v, proof):
+            return False
+        c = _dleq_challenge(group, u, h, v, proof.t1, proof.t2, context)
+        alpha = _batch_coefficient(group, rng)
+        beta = _batch_coefficient(group, rng)
+        # (g**s / (t1 * u**c))**alpha * (h**s / (t2 * v**c))**beta
+        g_exponent += alpha * proof.s
+        pairs.append((u, -alpha * c))
+        pairs.append((proof.t1, -alpha))
+        pairs.append((h, beta * proof.s))
+        pairs.append((v, -beta * c))
+        pairs.append((proof.t2, -beta))
+    pairs.append((group.g, g_exponent))
+    return group.multiexp(pairs, hot_bases=hot_bases) == group.identity()
+
+
+def batch_verify_dleq_or(
+    group: SchnorrGroup,
+    items: Sequence[DleqOrItem],
+    hot_bases: Sequence[int] = (),
+    rng=None,
+) -> bool:
+    """Check many disjunctive proofs with one multi-exponentiation.
+
+    The four equations of each OR transcript get independent coefficients;
+    see :func:`batch_verify_dleq`.  On ``False`` use
+    :func:`find_invalid_dleq_or` to name exact culprits.
+    """
+    pairs: list[tuple[int, int]] = []
+    g_exponent = 0
+    for statements, proof, context in items:
+        if not _or_checks(group, statements, proof):
+            return False
+        c1, c2 = _or_split(group, statements, proof, context)
+        commitments = ((proof.t11, proof.t12), (proof.t21, proof.t22))
+        for (u, h, v), (t1, t2), c, s in zip(
+            statements, commitments, (c1, c2), (proof.s1, proof.s2)
+        ):
+            alpha = _batch_coefficient(group, rng)
+            beta = _batch_coefficient(group, rng)
+            g_exponent += alpha * s
+            pairs.append((u, -alpha * c))
+            pairs.append((t1, -alpha))
+            pairs.append((h, beta * s))
+            pairs.append((v, -beta * c))
+            pairs.append((t2, -beta))
+    pairs.append((group.g, g_exponent))
+    return group.multiexp(pairs, hot_bases=hot_bases) == group.identity()
+
+
+def _bisect_invalid(
+    indices: list[int],
+    batch_ok: Callable[[list[int]], bool],
+    verify_one: Callable[[int], bool],
+    known_failed: bool = False,
+) -> list[int]:
+    """Culprit isolation: recursive bisection with per-proof leaf rechecks.
+
+    The documented fallback behind the batch API: a failed batch is split
+    in half and each half re-batched; single-proof leaves are verified
+    individually, so the returned culprit set is *exactly* the proofs an
+    unbatched verifier would reject — batching never blurs blame.  Cost is
+    O(bad * log n) batch checks, paid only on the (rare) failing path.
+    ``known_failed`` skips the batch check when the caller already saw
+    this exact index set fail.
+    """
+    if len(indices) == 1:
+        return [] if verify_one(indices[0]) else indices
+    if not known_failed and batch_ok(indices):
+        return []
+    mid = len(indices) // 2
+    return _bisect_invalid(indices[:mid], batch_ok, verify_one) + _bisect_invalid(
+        indices[mid:], batch_ok, verify_one
+    )
+
+
+def find_invalid_dleq(
+    group: SchnorrGroup,
+    items: Sequence[DleqItem],
+    hot_bases: Sequence[int] = (),
+    rng=None,
+    known_failed: bool = False,
+) -> tuple[int, ...]:
+    """Indices of the invalid proofs among ``items`` (exact culprit set).
+
+    Fast path: one batched check accepting everything.  Failing batches
+    fall back to :func:`_bisect_invalid`.  Callers that already watched
+    the full batch fail pass ``known_failed=True`` to skip re-running it.
+    """
+    if not items:
+        return ()
+    return tuple(
+        _bisect_invalid(
+            list(range(len(items))),
+            lambda idx: batch_verify_dleq(
+                group, [items[i] for i in idx], hot_bases, rng
+            ),
+            lambda i: verify_dleq(group, *items[i][:3], items[i][3], items[i][4]),
+            known_failed,
+        )
+    )
+
+
+def find_invalid_dleq_or(
+    group: SchnorrGroup,
+    items: Sequence[DleqOrItem],
+    hot_bases: Sequence[int] = (),
+    rng=None,
+    known_failed: bool = False,
+) -> tuple[int, ...]:
+    """Indices of the invalid OR proofs among ``items`` (exact culprit set).
+
+    See :func:`find_invalid_dleq` for the ``known_failed`` contract.
+    """
+    if not items:
+        return ()
+    return tuple(
+        _bisect_invalid(
+            list(range(len(items))),
+            lambda idx: batch_verify_dleq_or(
+                group, [items[i] for i in idx], hot_bases, rng
+            ),
+            lambda i: verify_dleq_or(group, items[i][0], items[i][1], items[i][2]),
+            known_failed,
+        )
+    )

@@ -16,7 +16,12 @@ from repro.sim.network import (
     emulab_wifi_topology,
     planetlab_topology,
 )
-from repro.sim.churn import LanJitterModel, SessionChurnModel, StragglerModel
+from repro.sim.churn import (
+    LanJitterModel,
+    SessionChurnModel,
+    StragglerModel,
+    drive_session_under_churn,
+)
 from repro.sim.trace import (
     PolicyReplayStats,
     RoundTrace,
@@ -25,12 +30,16 @@ from repro.sim.trace import (
     replay_policy,
 )
 from repro.sim.roundsim import (
+    HybridChurnRound,
+    HybridChurnTrace,
     ProtocolStageTimes,
     RoundSimConfig,
     RoundTiming,
     Workload,
     mean_timing,
+    simulate_disruption_recovery,
     simulate_full_protocol,
+    simulate_hybrid_churn,
     simulate_round,
     simulate_rounds,
 )
@@ -47,17 +56,22 @@ __all__ = [
     "LanJitterModel",
     "SessionChurnModel",
     "StragglerModel",
+    "drive_session_under_churn",
     "PolicyReplayStats",
     "RoundTrace",
     "TraceConfig",
     "generate_trace",
     "replay_policy",
+    "HybridChurnRound",
+    "HybridChurnTrace",
     "ProtocolStageTimes",
     "RoundSimConfig",
     "RoundTiming",
     "Workload",
     "mean_timing",
+    "simulate_disruption_recovery",
     "simulate_full_protocol",
+    "simulate_hybrid_churn",
     "simulate_round",
     "simulate_rounds",
 ]

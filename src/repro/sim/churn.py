@@ -107,3 +107,33 @@ class SessionChurnModel:
             else:
                 result.append(rng.random() < p_join)
         return result
+
+
+def drive_session_under_churn(
+    session,
+    model: SessionChurnModel,
+    rounds: int,
+    rng: random.Random,
+) -> list[int]:
+    """Run a real in-process session with churned per-round online sets.
+
+    Works for any :class:`~repro.core.session.DissentSession`-shaped
+    session — including hybrid mode, which is how the churn scenarios
+    exercise the verifiable replay path against a live session rather
+    than only the timing model.  Expelled clients stay out; if churn
+    empties the group the round runs with one pinned client so the
+    session keeps advancing.  Returns the published participation count
+    per round.
+    """
+    num_clients = len(session.clients)
+    online = [True] * num_clients
+    participations: list[int] = []
+    for r in range(rounds):
+        online = model.step(online, r / max(1, rounds), rng)
+        online_set = {i for i, is_online in enumerate(online) if is_online}
+        online_set -= session.expelled
+        if not online_set:
+            online_set = {min(set(range(num_clients)) - session.expelled)}
+        record = session.run_round(online_set)
+        participations.append(record.participation)
+    return participations

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.policy import WindowPolicy, FractionMultiplierPolicy
 from repro.core.schedule import open_slot_bytes
-from repro.sim.churn import LanJitterModel
+from repro.sim.churn import LanJitterModel, SessionChurnModel
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Simulator
 from repro.sim.network import Topology, deterlab_topology
@@ -242,6 +242,26 @@ _CLIENT_CHUNK_EXPS = 8
 _VERIFY_CHUNK_EXPS = 8
 #: One server decryption share with DLEQ proof (prove 3, verify 4).
 _SHARE_CHUNK_EXPS = 7
+#: Batched verification model: the random-linear-combination coefficients
+#: are this many bits (repro.crypto.proofs.BATCH_COEFF_BITS) against
+#: full-width exponents of roughly the group order, so each proof's share
+#: of the single per-round multi-exponentiation shrinks by about this
+#: ratio; the shared squaring ladder and the hot-base exponentiations are
+#: charged as a constant handful of full exponentiations.
+_BATCH_COEFF_BITS = 128
+_GROUP_ORDER_BITS = 2048
+_BATCH_OVERHEAD_EXPS = 6
+
+
+def _verify_exps(num_clients: int, num_servers: int, width: int, batched: bool) -> float:
+    """Server-side proof-check exponentiation count for one verifiable round."""
+    exps = (
+        num_clients * width * _VERIFY_CHUNK_EXPS
+        + num_servers * width * _SHARE_CHUNK_EXPS
+    )
+    if batched:
+        return exps * _BATCH_COEFF_BITS / _GROUP_ORDER_BITS + _BATCH_OVERHEAD_EXPS
+    return float(exps)
 
 
 def simulate_disruption_recovery(
@@ -253,6 +273,7 @@ def simulate_disruption_recovery(
     cost: CostModel = DEFAULT_COST_MODEL,
     soundness_bits: int = 64,
     chunk_bytes: int = 96,
+    batched: bool = True,
     seed: int = 0,
 ) -> BlameTiming:
     """Model time-to-blame for one disrupted microblog round per mode.
@@ -267,6 +288,11 @@ def simulate_disruption_recovery(
     evaluation runs.  Verifiable mode pays nothing extra on disruption —
     its per-round proof overhead (charged on every clean round too) is
     reported separately.
+
+    ``batched=True`` (the default, matching the implementation) charges
+    server-side proof checks as one random-linear-combination
+    multi-exponentiation per round instead of eight exponentiations per
+    chunk per client; pass ``False`` for the pre-batching model.
     """
     topo = topology or deterlab_topology()
     rng = random.Random(seed)
@@ -280,15 +306,11 @@ def simulate_disruption_recovery(
     )
     round_time = simulate_round(config, rng).total
     width = max(1, -(-message_bytes // chunk_bytes))
-    element_bytes = 2 * 256  # 2048-bit embedding-group elements on the wire
 
-    # Trace evaluation is common to xor and hybrid blame.
-    evidence_exchange = _server_exchange_time(
-        config, num_clients * workload.round_bytes(num_clients) // max(1, num_servers)
-    )
-    trace_time = cost.blame_evaluation_time(num_clients, num_servers) + evidence_exchange
+    trace_time = _trace_time(config, workload)
 
     if mode == "xor":
+        element_bytes = 2 * 256  # 2048-bit embedding-group elements
         # Detection: the corrupted output round.  Request: one more round
         # to win the shuffle-request gamble (expected value with k=8 is
         # ~1.004 rounds; charge one).
@@ -305,27 +327,147 @@ def simulate_disruption_recovery(
         )
         return BlameTiming("xor", detection, blame_shuffle + trace_time, 0.0)
 
-    client_prove = width * _CLIENT_CHUNK_EXPS * cost.msg_exp_seconds
-    server_verify = (
-        num_clients * width * _VERIFY_CHUNK_EXPS
-        + num_servers * width * _SHARE_CHUNK_EXPS
-    ) * cost.msg_exp_seconds / max(1, cost.server_cores)
-    replay_transfer = topo.clients_to_server_time(
-        max(1, num_clients // num_servers), width * element_bytes
-    ) + _server_exchange_time(config, width * element_bytes)
+    replay = _verifiable_round_cost(config, width, batched)
 
     if mode == "hybrid":
         # Corruption is publicly visible in the output round itself.
         detection = round_time
-        replay = client_prove + server_verify + replay_transfer
         return BlameTiming("hybrid", detection, replay + trace_time, 0.0)
 
     if mode == "verifiable":
         # Blame is in-round; the overhead is paid on *every* round.
-        overhead = client_prove + server_verify + replay_transfer
-        return BlameTiming("verifiable", round_time, 0.0, overhead)
+        return BlameTiming("verifiable", round_time, 0.0, replay)
 
     raise ValueError(f"unknown DC-net mode {mode!r}")
+
+
+def _trace_time(config: RoundSimConfig, workload: Workload) -> float:
+    """Witness-bit trace evaluation (common to xor and hybrid blame)."""
+    n, m = config.num_clients, config.num_servers
+    evidence_exchange = _server_exchange_time(
+        config, n * workload.round_bytes(n) // max(1, m)
+    )
+    return config.cost.blame_evaluation_time(n, m) + evidence_exchange
+
+
+def _verifiable_round_cost(
+    config: RoundSimConfig, width: int, batched: bool
+) -> float:
+    """Prove + verify + transfer cost of one verifiable (replay) round."""
+    n, m = config.num_clients, config.num_servers
+    cost, topo = config.cost, config.topology
+    element_bytes = 2 * 256
+    client_prove = width * _CLIENT_CHUNK_EXPS * cost.msg_exp_seconds
+    server_verify = (
+        _verify_exps(n, m, width, batched)
+        * cost.msg_exp_seconds
+        / max(1, cost.server_cores)
+    )
+    replay_transfer = topo.clients_to_server_time(
+        max(1, n // m), width * element_bytes
+    ) + _server_exchange_time(config, width * element_bytes)
+    return client_prove + server_verify + replay_transfer
+
+
+# ---------------------------------------------------------------------------
+# Hybrid mode under churn at paper scale
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HybridChurnRound:
+    """One simulated hybrid-mode round under churn."""
+
+    round_number: int
+    online_clients: int
+    round_time: float
+    corrupted: bool
+    blame_time: float  # verifiable replay + trace; 0.0 for clean rounds
+
+    @property
+    def total(self) -> float:
+        return self.round_time + self.blame_time
+
+
+@dataclass(frozen=True)
+class HybridChurnTrace:
+    """A whole hybrid-mode run: round timings plus blame events."""
+
+    rounds: tuple[HybridChurnRound, ...]
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.total for r in self.rounds)
+
+    @property
+    def corrupted_rounds(self) -> int:
+        return sum(1 for r in self.rounds if r.corrupted)
+
+    @property
+    def mean_round_time(self) -> float:
+        return sum(r.round_time for r in self.rounds) / len(self.rounds)
+
+    @property
+    def mean_time_to_blame(self) -> float:
+        """Mean detect-to-named latency over the corrupted rounds."""
+        blamed = [r for r in self.rounds if r.corrupted]
+        if not blamed:
+            return 0.0
+        return sum(r.round_time + r.blame_time for r in blamed) / len(blamed)
+
+
+def simulate_hybrid_churn(
+    num_clients: int,
+    num_servers: int,
+    rounds: int = 24,
+    churn: SessionChurnModel | None = None,
+    disruption_prob: float = 0.05,
+    message_bytes: int = 128,
+    topology: Topology | None = None,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    chunk_bytes: int = 96,
+    batched: bool = True,
+    seed: int = 0,
+) -> HybridChurnTrace:
+    """Drive hybrid mode through churned rounds at paper scale.
+
+    The ROADMAP integration scenario: the online population evolves under
+    the memoryless churn model, each round's timing comes from the
+    event-driven round simulator at the *current* population, and a
+    disrupted round (probability ``disruption_prob``) additionally pays
+    the verifiable replay + trace — so time-to-blame lands in the same
+    trace as the fast-path round times it interrupts.  Real small-group
+    hybrid sessions run the identical round/replay sequence via
+    :func:`repro.sim.churn.drive_session_under_churn`.
+    """
+    topo = topology or deterlab_topology()
+    model = churn or SessionChurnModel()
+    rng = random.Random(seed)
+    online = [True] * num_clients
+    rows: list[HybridChurnRound] = []
+    for r in range(rounds):
+        online = model.step(online, r / max(1, rounds), rng)
+        population = max(num_servers, sum(online))
+        workload = Workload.microblog(population, message_bytes=message_bytes)
+        config = RoundSimConfig(
+            num_clients=population,
+            num_servers=num_servers,
+            workload=workload,
+            topology=topo,
+            cost=cost,
+        )
+        round_time = simulate_round(config, rng).total
+        corrupted = rng.random() < disruption_prob
+        blame_time = 0.0
+        if corrupted:
+            width = max(1, -(-message_bytes // chunk_bytes))
+            blame_time = _verifiable_round_cost(config, width, batched) + _trace_time(
+                config, workload
+            )
+        rows.append(
+            HybridChurnRound(r, population, round_time, corrupted, blame_time)
+        )
+    return HybridChurnTrace(tuple(rows))
 
 
 # ---------------------------------------------------------------------------

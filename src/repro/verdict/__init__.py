@@ -15,6 +15,8 @@ See *Proactively Accountable Anonymous Messaging in Verdict*
 from repro.verdict.ciphertext import (
     VerdictClientCiphertext,
     VerdictServerShare,
+    batch_verify_client_ciphertexts,
+    batch_verify_server_shares,
     chunk_count,
     make_client_ciphertext,
     verify_client_ciphertext,
@@ -37,6 +39,8 @@ from repro.verdict.hybrid import (
 __all__ = [
     "VerdictClientCiphertext",
     "VerdictServerShare",
+    "batch_verify_client_ciphertexts",
+    "batch_verify_server_shares",
     "chunk_count",
     "make_client_ciphertext",
     "verify_client_ciphertext",

@@ -44,9 +44,15 @@ from repro.crypto.elgamal import Ciphertext
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.proofs import (
+    DleqItem,
+    DleqOrItem,
     DleqOrProof,
     DleqProof,
+    batch_verify_dleq,
+    batch_verify_dleq_or,
     dlog_statement,
+    find_invalid_dleq,
+    find_invalid_dleq_or,
     prove_dleq,
     prove_dleq_or,
     verify_dleq,
@@ -212,6 +218,76 @@ def verify_client_ciphertext(
     return True
 
 
+def _submission_or_items(
+    group: SchnorrGroup,
+    combined_key: PublicKey,
+    slot_key_element: int,
+    session_id: bytes,
+    round_number: int,
+    slot_index: int,
+    submission: VerdictClientCiphertext,
+) -> list[DleqOrItem]:
+    """The chunk-proof items one submission contributes to a batch."""
+    slot_branch = dlog_statement(group, slot_key_element)
+    items: list[DleqOrItem] = []
+    for k, (ct, proof) in enumerate(zip(submission.ciphertexts, submission.proofs)):
+        identity_branch = (ct.a, combined_key.y, ct.b)
+        context = submission_context(
+            session_id, round_number, slot_index, submission.client_index, k
+        )
+        items.append(((identity_branch, slot_branch), proof, context))
+    return items
+
+
+def batch_verify_client_ciphertexts(
+    group: SchnorrGroup,
+    combined_key: PublicKey,
+    slot_key_element: int,
+    session_id: bytes,
+    round_number: int,
+    slot_index: int,
+    width: int,
+    submissions: Sequence[VerdictClientCiphertext],
+    rng=None,
+) -> set[int]:
+    """Check a whole round of client proofs in one multi-exponentiation.
+
+    Returns the rejected client indices — exactly the set
+    :func:`verify_client_ciphertext` would reject one submission at a
+    time.  The fast path is a single batched check over every chunk proof
+    of every submission; only a failing batch pays for culprit isolation
+    (bisection + per-proof leaf rechecks), so the honest-round cost is one
+    multi-exponentiation per round instead of eight exponentiations per
+    chunk per client.
+    """
+    rejected: set[int] = set()
+    items: list[DleqOrItem] = []
+    owners: list[int] = []
+    for submission in submissions:
+        if submission.width != width or len(submission.proofs) != width:
+            rejected.add(submission.client_index)
+            continue
+        chunk_items = _submission_or_items(
+            group,
+            combined_key,
+            slot_key_element,
+            session_id,
+            round_number,
+            slot_index,
+            submission,
+        )
+        items.extend(chunk_items)
+        owners.extend([submission.client_index] * len(chunk_items))
+    hot = (combined_key.y,)
+    if items and not batch_verify_dleq_or(group, items, hot_bases=hot, rng=rng):
+        invalid = find_invalid_dleq_or(
+            group, items, hot_bases=hot, rng=rng, known_failed=True
+        )
+        for index in invalid:
+            rejected.add(owners[index])
+    return rejected
+
+
 @dataclass(frozen=True)
 class VerdictServerShare:
     """One server's decryption shares ``A_k**y_j`` with DLEQ proofs."""
@@ -284,6 +360,49 @@ def verify_server_share(
         ):
             return False
     return True
+
+
+def batch_verify_server_shares(
+    group: SchnorrGroup,
+    server_publics: Sequence[PublicKey],
+    a_parts: Sequence[int],
+    session_id: bytes,
+    round_number: int,
+    slot_index: int,
+    shares: Sequence[VerdictServerShare],
+    rng=None,
+) -> set[int]:
+    """Check every server's decryption-share proofs in one batch.
+
+    Returns the blamed server indices — exactly the servers
+    :func:`verify_server_share` would reject.  All M servers' W chunk
+    proofs collapse into one multi-exponentiation; the per-share fallback
+    only runs when the batch fails.
+    """
+    blamed: set[int] = set()
+    items: list[DleqItem] = []
+    owners: list[int] = []
+    hot = [public.y for public in server_publics]
+    for share in shares:
+        if len(share.shares) != len(a_parts) or len(share.proofs) != len(a_parts):
+            blamed.add(share.server_index)
+            continue
+        public = server_publics[share.server_index]
+        for k, (a, value, proof) in enumerate(
+            zip(a_parts, share.shares, share.proofs)
+        ):
+            context = share_context(
+                session_id, round_number, slot_index, share.server_index, k
+            )
+            items.append((public.y, a, value, proof, context))
+            owners.append(share.server_index)
+    if items and not batch_verify_dleq(group, items, hot_bases=hot, rng=rng):
+        invalid = find_invalid_dleq(
+            group, items, hot_bases=hot, rng=rng, known_failed=True
+        )
+        for index in invalid:
+            blamed.add(owners[index])
+    return blamed
 
 
 def open_round(

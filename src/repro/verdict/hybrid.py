@@ -60,14 +60,14 @@ from repro.errors import ProtocolError
 from repro.util.bytesops import get_bit
 from repro.util.serialization import pack_fields
 from repro.verdict.ciphertext import (
+    batch_verify_client_ciphertexts,
+    batch_verify_server_shares,
     chunk_count,
     combine_client_ciphertexts,
     decode_round,
     make_client_ciphertext,
     make_server_share,
     open_round,
-    verify_client_ciphertext,
-    verify_server_share,
 )
 
 _PAD_COMMIT_DOMAIN = "dissent.verdict.pad-commit.v1"
@@ -353,8 +353,7 @@ class HybridSession(DissentSession):
         # The replay replaces the accusation path: clear any pending
         # pseudonym accusations so no shuffle request goes on the wire.
         for client in self.clients:
-            client.pending_accusation = None
-            client._accusation_submitted = False
+            client.reset_accusation()
 
     # ------------------------------------------------------------------
     # Verifiable replay (the blame path)
@@ -400,31 +399,33 @@ class HybridSession(DissentSession):
             if digest != expected:
                 rejected.append(i)
                 participants.remove(i)
-        submissions = []
-        for i in participants:
-            submission = self.clients[i].replay_submission(
+        replays = [
+            self.clients[i].replay_submission(
                 round_number, slot_index, slot_key_element, width, session_id, combined
             )
-            self.hybrid_counters.replay_proofs_checked += width
-            if verify_client_ciphertext(
-                group,
-                combined,
-                slot_key_element,
-                session_id,
-                round_number,
-                slot_index,
-                width,
-                submission,
-            ):
-                submissions.append(submission)
-            else:
-                rejected.append(i)
+            for i in participants
+        ]
+        self.hybrid_counters.replay_proofs_checked += width * len(replays)
+        # One multi-exponentiation checks the whole replay; a failing batch
+        # falls back to bisection so the named set matches per-proof checks.
+        bad_replays = batch_verify_client_ciphertexts(
+            group,
+            combined,
+            slot_key_element,
+            session_id,
+            round_number,
+            slot_index,
+            width,
+            replays,
+        )
+        rejected.extend(sorted(bad_replays))
+        submissions = [
+            s for s in replays if s.client_index not in bad_replays
+        ]
 
         a_parts, b_parts = combine_client_ciphertexts(group, submissions, width)
-        shares = []
-        bad_servers: list[TraceVerdict] = []
-        for server in self.servers:
-            share = make_server_share(
+        shares = [
+            make_server_share(
                 group,
                 server.key,
                 server.index,
@@ -433,20 +434,22 @@ class HybridSession(DissentSession):
                 round_number,
                 slot_index,
             )
-            if verify_server_share(
-                group,
-                self.definition.server_keys[server.index],
-                a_parts,
-                session_id,
-                round_number,
-                slot_index,
-                share,
-            ):
-                shares.append(share)
-            else:
-                bad_servers.append(
-                    TraceVerdict("server", server.index, "invalid replay share")
-                )
+            for server in self.servers
+        ]
+        bad_share_servers = batch_verify_server_shares(
+            group,
+            list(self.definition.server_keys),
+            a_parts,
+            session_id,
+            round_number,
+            slot_index,
+            shares,
+        )
+        bad_servers = [
+            TraceVerdict("server", j, "invalid replay share")
+            for j in sorted(bad_share_servers)
+        ]
+        shares = [s for s in shares if s.server_index not in bad_share_servers]
         if bad_servers:
             return HybridBlameRecord(
                 round_number,

@@ -24,9 +24,10 @@ here unchanged.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections import deque
 
+from repro.core.rounds import QuietOutcome
 from repro.crypto import elgamal
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import sha256
@@ -35,13 +36,14 @@ from repro.errors import ProtocolError
 from repro.verdict.ciphertext import (
     VerdictClientCiphertext,
     VerdictServerShare,
+    batch_verify_client_ciphertexts,
+    batch_verify_server_shares,
     chunk_count,
     combine_client_ciphertexts,
     decode_round,
     make_client_ciphertext,
     make_server_share,
     open_round,
-    verify_client_ciphertext,
     verify_server_share,
 )
 
@@ -61,7 +63,12 @@ def _resolve_group(group_name: str) -> SchnorrGroup:
 
 @dataclass
 class VerdictCounters:
-    """Work accounting for the XOR-vs-verifiable benchmark comparisons."""
+    """Work accounting for the XOR-vs-verifiable benchmark comparisons.
+
+    ``client_proofs_made`` accrues on clients (one per chunk proof built in
+    :meth:`VerdictClient.submit`); the other three accrue on servers.
+    :meth:`VerdictSession.total_counters` sums both sides.
+    """
 
     client_proofs_made: int = 0
     client_proofs_checked: int = 0
@@ -93,6 +100,7 @@ class VerdictClient:
         self.rng = rng if rng is not None else random.Random()
         self.outbox: deque[bytes] = deque()
         self.received: list[tuple[int, int, bytes]] = []
+        self.counters = VerdictCounters()
 
     def queue_message(self, message: bytes) -> None:
         if not message:
@@ -114,6 +122,7 @@ class VerdictClient:
             if len(self.outbox[0]) <= capacity:
                 payload = self.outbox[0]
                 slot_private = self.slot_private
+        self.counters.client_proofs_made += width
         return make_client_ciphertext(
             self.group,
             self.combined_key,
@@ -198,22 +207,27 @@ class VerdictServer:
         width: int,
         submissions: list[VerdictClientCiphertext],
     ) -> set[int]:
-        """Check every client proof; returns the rejected client indices."""
-        rejected = set()
+        """Check every client proof; returns the rejected client indices.
+
+        One batched multi-exponentiation per round replaces the
+        per-chunk-per-client proof checks; rejections (and therefore the
+        servers' bit-for-bit agreement) are identical to checking each
+        submission individually — see
+        :func:`repro.verdict.ciphertext.batch_verify_client_ciphertexts`.
+        """
         for submission in submissions:
             self.counters.client_proofs_checked += submission.width
-            if not verify_client_ciphertext(
-                self.group,
-                self.combined_key,
-                self.slot_keys[slot_index],
-                self.session_id,
-                round_number,
-                slot_index,
-                width,
-                submission,
-            ):
-                rejected.add(submission.client_index)
-                self.counters.rejected_submissions += 1
+        rejected = batch_verify_client_ciphertexts(
+            self.group,
+            self.combined_key,
+            self.slot_keys[slot_index],
+            self.session_id,
+            round_number,
+            slot_index,
+            width,
+            submissions,
+        )
+        self.counters.rejected_submissions += len(rejected)
         return rejected
 
     def make_share(
@@ -248,6 +262,34 @@ class VerdictServer:
             round_number,
             slot_index,
             share,
+        )
+
+    def verify_shares(
+        self,
+        round_number: int,
+        slot_index: int,
+        a_parts: list[int],
+        shares: list[VerdictServerShare],
+    ) -> tuple[int, ...]:
+        """Check every server's decryption share; returns blamed indices.
+
+        All M shares' chunk proofs collapse into one batched
+        multi-exponentiation (the blamed set matches per-share
+        :meth:`verify_share` exactly).
+        """
+        self.counters.share_proofs_checked += len(a_parts) * len(shares)
+        return tuple(
+            sorted(
+                batch_verify_server_shares(
+                    self.group,
+                    self.server_publics,
+                    a_parts,
+                    self.session_id,
+                    round_number,
+                    slot_index,
+                    shares,
+                )
+            )
         )
 
 
@@ -395,11 +437,16 @@ class VerdictSession:
         shares = [
             server.make_share(r, slot_index, a_parts) for server in self.servers
         ]
-        blamed_servers = tuple(
-            share.server_index
-            for share in shares
-            if not self.servers[0].verify_share(r, slot_index, a_parts, share)
-        )
+        # Every server checks every share — a single designated verifier
+        # could frame or shield servers.  Honest servers agree bit-for-bit,
+        # exactly as they do on submission rejections above.
+        share_votes = [
+            server.verify_shares(r, slot_index, a_parts, shares)
+            for server in self.servers
+        ]
+        blamed_servers = share_votes[0]
+        if any(vote != blamed_servers for vote in share_votes[1:]):
+            raise ProtocolError("honest servers disagree on share verification")
         payload = b""
         if not blamed_servers:
             elements = open_round(self.group, b_parts, shares)
@@ -417,23 +464,34 @@ class VerdictSession:
         self.records.append(record)
         return record
 
-    def run_until_quiet(self, max_rounds: int = 32) -> int:
-        """Rotate slots until no client has pending traffic."""
-        for used in range(max_rounds):
-            if not any(
+    def run_until_quiet(self, max_rounds: int = 32) -> QuietOutcome:
+        """Rotate slots until no client has pending traffic.
+
+        Returns a :class:`~repro.core.rounds.QuietOutcome`: draining
+        exactly on the final allowed round reports ``drained=True``, while
+        exhausting the budget with traffic still queued reports
+        ``drained=False`` (the old bare-count return conflated the two).
+        """
+        def quiet() -> bool:
+            return not any(
                 c.has_pending_traffic
                 for i, c in enumerate(self.clients)
                 if i not in self.expelled
-            ):
-                return used
+            )
+
+        for used in range(max_rounds):
+            if quiet():
+                return QuietOutcome(used, True)
             self.run_round()
-        return max_rounds
+        return QuietOutcome(max_rounds, quiet())
 
     def delivered_messages(self, client_index: int = 0) -> list[tuple[int, int, bytes]]:
         return list(self.clients[client_index].received)
 
     def total_counters(self) -> VerdictCounters:
         total = VerdictCounters()
+        for client in self.clients:
+            total.client_proofs_made += client.counters.client_proofs_made
         for server in self.servers:
             total.client_proofs_checked += server.counters.client_proofs_checked
             total.share_proofs_checked += server.counters.share_proofs_checked

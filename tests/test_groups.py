@@ -143,3 +143,77 @@ class TestFixedBaseExponentiation:
     def test_tiny_group_full_sweep(self, tiny):
         for e in range(0, 50):
             assert tiny.exp_fixed(tiny.g, e) == tiny.exp(tiny.g, e)
+
+
+class TestMembershipViaLegendre:
+    """is_element now uses the Jacobi symbol; verdicts must match x**q mod p."""
+
+    def test_matches_exponentiation_test(self, group, rng):
+        candidates = [group.random_element(rng) for _ in range(8)]
+        candidates += [group.p - c for c in candidates[:4]]  # non-QRs
+        candidates += [0, 1, group.p - 1, group.p, group.p + 5]
+        for x in candidates:
+            slow = 1 <= x < group.p and pow(x, group.q, group.p) == 1
+            assert group.is_element(x) == slow
+
+    def test_tiny_group_spot_checks(self, tiny, rng):
+        candidates = [rng.randrange(0, tiny.p + 2) for _ in range(200)]
+        candidates += [0, 1, 2, tiny.g, tiny.p - 1, tiny.p, tiny.p + 1]
+        for x in candidates:
+            slow = 1 <= x < tiny.p and pow(x, tiny.q, tiny.p) == 1
+            assert tiny.is_element(x) == slow
+
+
+class TestMultiexp:
+    def _pairs(self, group, rng, n, small=False):
+        bound = 1 << 16 if small else group.q
+        return [
+            (group.random_element(rng), rng.randrange(0, bound))
+            for _ in range(n)
+        ]
+
+    def _naive(self, group, pairs):
+        acc = group.identity()
+        for base, e in pairs:
+            acc = group.mul(acc, group.exp(base, e))
+        return acc
+
+    def test_matches_naive_product(self, group, rng):
+        for n in (0, 1, 2, 3, 7, 20, 65):
+            pairs = self._pairs(group, rng, n)
+            assert group.multiexp(pairs) == self._naive(group, pairs)
+
+    def test_small_exponents(self, group, rng):
+        pairs = self._pairs(group, rng, 12, small=True)
+        assert group.multiexp(pairs) == self._naive(group, pairs)
+
+    def test_duplicate_bases_merge(self, group, rng):
+        base = group.random_element(rng)
+        pairs = [(base, 5), (base, group.q - 2), (group.g, 7), (group.g, 11)]
+        assert group.multiexp(pairs) == self._naive(group, pairs)
+
+    def test_negative_exponents(self, group, rng):
+        base = group.random_element(rng)
+        pairs = [(base, -3), (group.g, -1)]
+        expected = group.mul(
+            group.exp(base, group.q - 3), group.exp(group.g, group.q - 1)
+        )
+        assert group.multiexp(pairs) == expected
+
+    def test_hot_bases_give_same_result(self, group, rng):
+        hot = group.random_element(rng)
+        pairs = [(hot, group.random_scalar(rng)) for _ in range(3)]
+        pairs += self._pairs(group, rng, 5)
+        assert group.multiexp(pairs, hot_bases=(hot,)) == self._naive(group, pairs)
+
+    def test_identity_base_and_zero_exponent_skipped(self, group, rng):
+        pairs = [(1, 12345), (group.random_element(rng), 0)]
+        assert group.multiexp(pairs) == group.identity()
+
+    def test_tiny_group_randomized(self, tiny, rng):
+        for _ in range(20):
+            pairs = [
+                (tiny.random_element(rng), rng.randrange(0, 4 * tiny.q))
+                for _ in range(rng.randrange(1, 9))
+            ]
+            assert tiny.multiexp(pairs) == self._naive(tiny, pairs)

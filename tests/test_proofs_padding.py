@@ -50,7 +50,7 @@ class TestChaumPedersen:
         x = group.random_scalar(rng)
         h = group.random_element(rng)
         proof = proofs.prove_dleq(group, x, h)
-        bad = proofs.DleqProof(proof.c, (proof.s + 1) % group.q)
+        bad = proofs.DleqProof(proof.t1, proof.t2, (proof.s + 1) % group.q)
         assert not proofs.verify_dleq(group, group.exp(group.g, x), h, group.exp(h, x), bad)
 
     def test_context_binding(self, group, rng):
@@ -149,7 +149,7 @@ class TestDisjunctiveDleq:
         via_b = proofs.prove_dleq_or(group, (st_a, st_b), 1, wit_b, b"c", rng)
         for proof in (via_a, via_b):
             assert proofs.verify_dleq_or(group, (st_a, st_b), proof, b"c")
-            assert {type(v) for v in (proof.c1, proof.s1, proof.c2, proof.s2)} == {int}
+            assert {type(v) for v in (proof.c1, proof.s1, proof.s2)} == {int}
 
     def test_one_false_branch_still_proves(self, group, rng):
         st_a, _, st_b, wit_b = self._statements(group, rng)
@@ -177,16 +177,20 @@ class TestDisjunctiveDleq:
     def test_challenge_split_checked(self, group, rng):
         st_a, wit_a, st_b, _ = self._statements(group, rng)
         proof = proofs.prove_dleq_or(group, (st_a, st_b), 0, wit_a, b"s", rng)
-        # Shifting challenge mass between branches breaks the hash relation.
+        # Shifting challenge mass between branches breaks the equations.
         shifted = proofs.DleqOrProof(
-            (proof.c1 + 1) % group.q, proof.s1, (proof.c2 - 1) % group.q, proof.s2
+            proof.t11, proof.t12, proof.t21, proof.t22,
+            (proof.c1 + 1) % group.q, proof.s1, proof.s2,
         )
         assert not proofs.verify_dleq_or(group, (st_a, st_b), shifted, b"s")
 
     def test_out_of_range_scalars_rejected(self, group, rng):
         st_a, wit_a, st_b, _ = self._statements(group, rng)
         proof = proofs.prove_dleq_or(group, (st_a, st_b), 0, wit_a, b"s", rng)
-        broken = proofs.DleqOrProof(proof.c1, proof.s1 + group.q, proof.c2, proof.s2)
+        broken = proofs.DleqOrProof(
+            proof.t11, proof.t12, proof.t21, proof.t22,
+            proof.c1, proof.s1 + group.q, proof.s2,
+        )
         assert not proofs.verify_dleq_or(group, (st_a, st_b), broken, b"s")
 
     def test_invalid_known_index_raises(self, group, rng):
@@ -199,3 +203,126 @@ class TestDisjunctiveDleq:
         y = group.exp(group.g, x)
         statement = proofs.dlog_statement(group, y)
         assert statement == (y, group.g, y)
+
+
+class TestBatchVerification:
+    """RLC batches must agree bit-for-bit with per-proof verification."""
+
+    def _dleq_items(self, group, rng, n):
+        items = []
+        for i in range(n):
+            x = group.random_scalar(rng)
+            h = group.random_element(rng)
+            context = b"batch-%d" % i
+            proof = proofs.prove_dleq(group, x, h, context)
+            items.append((group.exp(group.g, x), h, group.exp(h, x), proof, context))
+        return items
+
+    def _or_items(self, group, rng, n):
+        items = []
+        for i in range(n):
+            combined = group.random_element(rng)
+            r = group.random_scalar(rng)
+            st_a = (group.exp(group.g, r), combined, group.exp(combined, r))
+            secret = group.random_scalar(rng)
+            st_b = proofs.dlog_statement(group, group.exp(group.g, secret))
+            context = b"or-%d" % i
+            index = i % 2
+            witness = r if index == 0 else secret
+            proof = proofs.prove_dleq_or(
+                group, (st_a, st_b), index, witness, context, rng
+            )
+            items.append(((st_a, st_b), proof, context))
+        return items
+
+    def test_valid_dleq_batch_accepts(self, group, rng):
+        items = self._dleq_items(group, rng, 6)
+        assert proofs.batch_verify_dleq(group, items, rng=rng)
+        assert proofs.find_invalid_dleq(group, items, rng=rng) == ()
+
+    def test_empty_batches_accept(self, group, rng):
+        assert proofs.batch_verify_dleq(group, [], rng=rng)
+        assert proofs.batch_verify_dleq_or(group, [], rng=rng)
+        assert proofs.find_invalid_dleq(group, [], rng=rng) == ()
+        assert proofs.find_invalid_dleq_or(group, [], rng=rng) == ()
+
+    def test_single_bad_dleq_caught_and_isolated(self, group, rng):
+        items = self._dleq_items(group, rng, 5)
+        u, h, v, proof, context = items[2]
+        items[2] = (u, h, group.mul(v, group.g), proof, context)
+        assert not proofs.batch_verify_dleq(group, items, rng=rng)
+        assert proofs.find_invalid_dleq(group, items, rng=rng) == (2,)
+
+    def test_culprit_set_matches_per_proof_dleq(self, group, rng):
+        items = self._dleq_items(group, rng, 9)
+        for bad in (0, 4, 8):
+            u, h, v, proof, context = items[bad]
+            items[bad] = (
+                u, h, v,
+                proofs.DleqProof(proof.t1, proof.t2, (proof.s + 1) % group.q),
+                context,
+            )
+        per_proof = tuple(
+            i
+            for i, (u, h, v, proof, context) in enumerate(items)
+            if not proofs.verify_dleq(group, u, h, v, proof, context)
+        )
+        assert per_proof == (0, 4, 8)
+        assert proofs.find_invalid_dleq(group, items, rng=rng) == per_proof
+
+    def test_valid_or_batch_accepts(self, group, rng):
+        items = self._or_items(group, rng, 6)
+        assert proofs.batch_verify_dleq_or(group, items, rng=rng)
+        assert proofs.find_invalid_dleq_or(group, items, rng=rng) == ()
+
+    def test_culprit_set_matches_per_proof_or(self, group, rng):
+        items = self._or_items(group, rng, 8)
+        for bad in (1, 6):
+            statements, proof, context = items[bad]
+            broken = proofs.DleqOrProof(
+                proof.t11, proof.t12, proof.t21, proof.t22,
+                (proof.c1 + 1) % group.q, proof.s1, proof.s2,
+            )
+            items[bad] = (statements, broken, context)
+        per_proof = tuple(
+            i
+            for i, (statements, proof, context) in enumerate(items)
+            if not proofs.verify_dleq_or(group, statements, proof, context)
+        )
+        assert per_proof == (1, 6)
+        assert proofs.find_invalid_dleq_or(group, items, rng=rng) == per_proof
+
+    def test_all_bad_batch_names_everyone(self, group, rng):
+        items = self._dleq_items(group, rng, 4)
+        items = [
+            (u, h, group.mul(v, group.g), proof, context)
+            for (u, h, v, proof, context) in items
+        ]
+        assert proofs.find_invalid_dleq(group, items, rng=rng) == (0, 1, 2, 3)
+
+    def test_structural_failure_rejects_batch(self, group, rng):
+        items = self._dleq_items(group, rng, 3)
+        u, h, v, proof, context = items[1]
+        bad = proofs.DleqProof(proof.t1, proof.t2, proof.s + group.q)
+        items[1] = (u, h, v, bad, context)
+        assert not proofs.batch_verify_dleq(group, items, rng=rng)
+        assert proofs.find_invalid_dleq(group, items, rng=rng) == (1,)
+
+    def test_hot_bases_do_not_change_verdicts(self, group, rng):
+        h = group.random_element(rng)
+        items = []
+        for i in range(4):
+            x = group.random_scalar(rng)
+            proof = proofs.prove_dleq(group, x, h, b"hot")
+            items.append((group.exp(group.g, x), h, group.exp(h, x), proof, b"hot"))
+        assert proofs.batch_verify_dleq(group, items, hot_bases=(h,), rng=rng)
+
+    def test_tiny_group_coefficients_stay_in_range(self, tiny, rng):
+        """Coefficient width clamps below q for toy groups."""
+        items = []
+        for i in range(3):
+            x = tiny.random_scalar(rng)
+            h = tiny.random_element(rng)
+            proof = proofs.prove_dleq(tiny, x, h, b"t")
+            items.append((tiny.exp(tiny.g, x), h, tiny.exp(h, x), proof, b"t"))
+        assert proofs.batch_verify_dleq(tiny, items, rng=rng)

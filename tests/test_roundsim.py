@@ -135,3 +135,77 @@ class TestFullProtocol:
         assert large.key_shuffle > small.key_shuffle
         assert large.blame_shuffle > small.blame_shuffle
         assert large.blame_evaluation > small.blame_evaluation
+
+
+class TestDisruptionRecoveryModel:
+    def test_batched_hybrid_blame_cheaper_than_unbatched(self):
+        from repro.sim.roundsim import simulate_disruption_recovery
+
+        batched = simulate_disruption_recovery(1024, 8, "hybrid", batched=True)
+        unbatched = simulate_disruption_recovery(1024, 8, "hybrid", batched=False)
+        assert batched.blame < unbatched.blame
+        assert batched.detection == unbatched.detection
+
+    def test_batched_verifiable_tax_shrinks(self):
+        from repro.sim.roundsim import simulate_disruption_recovery
+
+        batched = simulate_disruption_recovery(512, 8, "verifiable", batched=True)
+        unbatched = simulate_disruption_recovery(512, 8, "verifiable", batched=False)
+        assert (
+            batched.verifiable_overhead_per_round
+            < unbatched.verifiable_overhead_per_round
+        )
+
+    def test_xor_model_ignores_batching_flag(self):
+        from repro.sim.roundsim import simulate_disruption_recovery
+
+        a = simulate_disruption_recovery(256, 4, "xor", batched=True)
+        b = simulate_disruption_recovery(256, 4, "xor", batched=False)
+        assert a == b
+
+
+class TestHybridChurnScenario:
+    def test_trace_shape_and_accounting(self):
+        from repro.sim.roundsim import simulate_hybrid_churn
+
+        trace = simulate_hybrid_churn(
+            256, 4, rounds=10, disruption_prob=0.3, seed=1
+        )
+        assert len(trace.rounds) == 10
+        assert all(r.online_clients >= 4 for r in trace.rounds)
+        assert all(r.round_time > 0 for r in trace.rounds)
+        for r in trace.rounds:
+            assert (r.blame_time > 0) == r.corrupted
+        assert trace.total_time == pytest.approx(
+            sum(r.round_time + r.blame_time for r in trace.rounds)
+        )
+
+    def test_population_churns(self):
+        from repro.sim.churn import SessionChurnModel
+        from repro.sim.roundsim import simulate_hybrid_churn
+
+        trace = simulate_hybrid_churn(
+            512,
+            8,
+            rounds=12,
+            churn=SessionChurnModel(
+                mean_session_rounds=3.0, mean_offline_rounds=2.0
+            ),
+            disruption_prob=0.0,
+            seed=2,
+        )
+        populations = {r.online_clients for r in trace.rounds}
+        assert len(populations) > 1  # the online set actually moved
+        assert trace.corrupted_rounds == 0
+        assert trace.mean_time_to_blame == 0.0
+
+    def test_clean_run_has_no_blame_cost(self):
+        from repro.sim.roundsim import simulate_hybrid_churn
+
+        trace = simulate_hybrid_churn(
+            128, 4, rounds=6, disruption_prob=0.0, seed=4
+        )
+        assert all(r.blame_time == 0.0 for r in trace.rounds)
+        assert trace.total_time == pytest.approx(
+            sum(r.round_time for r in trace.rounds)
+        )
