@@ -89,4 +89,4 @@ def test_bench_shuffle_cascade_small(benchmark):
         return shuffle.run_cascade(servers, inputs, soundness_bits=4, rng=rng)
 
     transcript = benchmark.pedantic(cascade, rounds=1, iterations=1)
-    assert shuffle.verify_transcript(publics, transcript)
+    assert shuffle.verify_transcript(publics, transcript, soundness_bits=4)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.bench.harness import FigureResult
 from repro.sim.churn import LanJitterModel, StragglerModel
-from repro.sim.costmodel import DEFAULT_COST_MODEL
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.network import deterlab_topology, planetlab_topology
 from repro.sim.roundsim import (
     RoundSimConfig,
@@ -32,25 +32,29 @@ NUM_SERVERS = 32
 CLIENT_MACHINES = 320
 
 
-def _deterlab_config(num_clients: int, workload: Workload) -> RoundSimConfig:
+def _deterlab_config(
+    num_clients: int, workload: Workload, cost: CostModel
+) -> RoundSimConfig:
     return RoundSimConfig(
         num_clients=num_clients,
         num_servers=NUM_SERVERS,
         workload=workload,
         topology=deterlab_topology(),
-        cost=DEFAULT_COST_MODEL,
+        cost=cost,
         jitter=LanJitterModel(),
         client_machines=CLIENT_MACHINES,
     )
 
 
-def _planetlab_config(num_clients: int, workload: Workload) -> RoundSimConfig:
+def _planetlab_config(
+    num_clients: int, workload: Workload, cost: CostModel
+) -> RoundSimConfig:
     return RoundSimConfig(
         num_clients=num_clients,
         num_servers=NUM_SERVERS,
         workload=workload,
         topology=planetlab_topology(),
-        cost=DEFAULT_COST_MODEL,
+        cost=cost,
         jitter=StragglerModel(),
     )
 
@@ -59,8 +63,15 @@ def run(
     client_counts: tuple[int, ...] = CLIENT_COUNTS,
     rounds_per_point: int = 10,
     seed: int = 7,
+    cost: CostModel = DEFAULT_COST_MODEL,
 ) -> FigureResult:
-    """Sweep client count for both workloads (the six paper series)."""
+    """Sweep client count for both workloads (the six paper series).
+
+    The default cost model charges batched signature verification (this
+    repo's protocol); pass ``cost=replace(DEFAULT_COST_MODEL,
+    batched_signatures=False)`` to reproduce the paper prototype's
+    one-at-a-time verification.
+    """
     result = FigureResult(
         figure="Figure 7",
         title=f"time per round (s) vs clients, {NUM_SERVERS} servers",
@@ -80,19 +91,19 @@ def run(
         share = Workload.data_sharing()
 
         t = mean_timing(
-            simulate_rounds(_deterlab_config(n, share), rounds_per_point, seed)
+            simulate_rounds(_deterlab_config(n, share, cost), rounds_per_point, seed)
         )
         series["128K-server(Det)"].append(t.server_processing)
         series["128K-client(Det)"].append(t.client_submission)
 
         t = mean_timing(
-            simulate_rounds(_planetlab_config(n, micro), rounds_per_point, seed)
+            simulate_rounds(_planetlab_config(n, micro, cost), rounds_per_point, seed)
         )
         series["1%-server(PL)"].append(t.server_processing)
         series["1%-client(PL)"].append(t.client_submission)
 
         t = mean_timing(
-            simulate_rounds(_deterlab_config(n, micro), rounds_per_point, seed)
+            simulate_rounds(_deterlab_config(n, micro, cost), rounds_per_point, seed)
         )
         series["1%-server(Det)"].append(t.server_processing)
         series["1%-client(Det)"].append(t.client_submission)

@@ -33,12 +33,12 @@ from dataclasses import dataclass
 from collections.abc import Callable, Mapping, Sequence
 
 from repro.crypto import dh, prng
-from repro.crypto.groups import SchnorrGroup
+from repro.crypto.groups import SchnorrGroup, hot_bases_within_budget
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.proofs import DleqProof, prove_dleq, verify_dleq
 from repro.crypto.schnorr import Signature, sign as schnorr_sign, verify as schnorr_verify
 from repro.errors import AccusationError, TraceInconclusive
-from repro.net.message import SignedEnvelope
+from repro.net.message import SignedEnvelope, batch_verify_envelopes
 from repro.util.bytesops import get_bit
 from repro.util.serialization import pack_fields, unpack_fields
 
@@ -112,8 +112,8 @@ def accusation_max_bytes(group: SchnorrGroup) -> int:
     particular accusation.
     """
     # pack_fields overhead: 5 bytes per field; three 8-byte integers plus a
-    # two-scalar signature.
-    return 3 * (5 + 8) + 5 + 2 * group.scalar_bytes
+    # commitment-form signature (one group element + one scalar).
+    return 3 * (5 + 8) + 5 + group.element_bytes + group.scalar_bytes
 
 
 @dataclass(frozen=True)
@@ -272,21 +272,32 @@ def run_trace(
             continue
         assigned = [i for i in evidence.final_list if evidence.assignment[i] == j]
         # (a) every assigned client's signed ciphertext must be produced.
-        case_a = False
-        for i in assigned:
+        # Structural screens run per envelope; the surviving signatures
+        # collapse into one batched multi-exponentiation.  The named
+        # client is the first failing one in assigned order — exactly
+        # what the old per-envelope loop reported.
+        bad_positions: list[int] = []
+        items: list[tuple[SignedEnvelope, PublicKey]] = []
+        item_positions: list[int] = []
+        for position, i in enumerate(assigned):
             envelope = disclosure.client_envelopes.get(i)
-            if envelope is None or not _envelope_ok(
-                envelope, client_publics[i], group_id, evidence, i
-            ):
-                verdicts.append(
-                    TraceVerdict(
-                        "server", j, f"missing/invalid ciphertext evidence for client {i}"
-                    )
+            if envelope is None or not _envelope_screen(envelope, group_id, evidence):
+                bad_positions.append(position)
+                continue
+            items.append((envelope, client_publics[i]))
+            item_positions.append(position)
+        invalid = batch_verify_envelopes(
+            items, hot_bases=hot_bases_within_budget(key.y for _, key in items)
+        )
+        bad_positions.extend(item_positions[idx] for idx in invalid)
+        if bad_positions:
+            i = assigned[min(bad_positions)]
+            verdicts.append(
+                TraceVerdict(
+                    "server", j, f"missing/invalid ciphertext evidence for client {i}"
                 )
-                convicted_servers.add(j)
-                case_a = True
-                break
-        if case_a:
+            )
+            convicted_servers.add(j)
             continue
         # Pair bits must cover the whole final list.
         if any(i not in disclosure.pair_bits for i in evidence.final_list):
@@ -347,25 +358,21 @@ def run_trace(
     return verdicts
 
 
-def _envelope_ok(
+def _envelope_screen(
     envelope: SignedEnvelope,
-    client_public: PublicKey,
     group_id: bytes,
     evidence: RoundEvidence,
-    client_index: int,
 ) -> bool:
-    """Validate a disclosed client submission as trace evidence."""
+    """Structural validation of a disclosed client submission.
+
+    Signature checks are batched separately (one multi-exponentiation per
+    disclosing server) by the case (a) loop in :func:`run_trace`.
+    """
     if envelope.round_number != evidence.round_number:
         return False
     if envelope.group_id != group_id:
         return False
-    if len(envelope.body) != evidence.total_bytes:
-        return False
-    try:
-        envelope.verify(client_public)
-    except Exception:
-        return False
-    return True
+    return len(envelope.body) == evidence.total_bytes
 
 
 def _judge_rebuttal(

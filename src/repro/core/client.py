@@ -30,8 +30,9 @@ from repro.core.config import GroupDefinition
 from repro.core.rounds import RoundOutput, output_digest
 from repro.core.schedule import Scheduler, SlotContent, encode_slot
 from repro.crypto import dh, prng, shuffle
+from repro.crypto.groups import hot_bases_within_budget
 from repro.crypto.keys import PrivateKey
-from repro.crypto.schnorr import verify as schnorr_verify
+from repro.crypto import schnorr
 from repro.crypto.shuffle import CipherVector
 from repro.errors import InvalidSignature, ProtocolError
 from repro.net.message import CLIENT_CIPHERTEXT, SignedEnvelope, make_envelope
@@ -148,6 +149,30 @@ class DissentClient:
         self.pseudonym = PrivateKey.generate(self.group, self.rng)
         return shuffle.prepare_element_input(
             shuffle_server_publics, self.pseudonym.y, self.rng
+        )
+
+    def signed_scheduling_submission(
+        self, shuffle_server_publics: list, purpose: bytes
+    ) -> SignedEnvelope:
+        """Our shuffle input wrapped in a signed envelope.
+
+        Signing makes a malformed submission attributable before the
+        cascade runs; servers batch-verify all N submission signatures
+        with one multi-exponentiation
+        (:func:`repro.core.keyshuffle.open_shuffle_submissions`).  The
+        signed body embeds the run id derived from the servers' ephemeral
+        mix keys, so the envelope cannot be replayed into a later session.
+        """
+        from repro.core.keyshuffle import shuffle_run_id, sign_shuffle_submission
+
+        vector = self.make_scheduling_submission(shuffle_server_publics)
+        return sign_shuffle_submission(
+            self.key,
+            self.name,
+            self.group_id,
+            self.group,
+            vector,
+            shuffle_run_id(purpose, shuffle_server_publics),
         )
 
     def learn_schedule(self, shuffled_elements: list[int]) -> int:
@@ -296,17 +321,29 @@ class DissentClient:
     # ------------------------------------------------------------------
 
     def verify_output(self, output: RoundOutput) -> None:
-        """Check all M server signatures before trusting a round output."""
+        """Check all M server signatures before trusting a round output.
+
+        One multi-exponentiation covers the whole signature set (the
+        server keys are this client's hottest recurring bases); verdicts
+        are identical to checking each signature individually.
+        """
         if len(output.signatures) != self.definition.num_servers:
             raise InvalidSignature("round output must carry one signature per server")
         digest = output_digest(
             self.group_id, output.round_number, output.cleartext, output.participation
         )
-        for server_key, signature in zip(
-            self.definition.server_keys, output.signatures
+        if not schnorr.batch_verify(
+            [
+                (server_key, digest, signature)
+                for server_key, signature in zip(
+                    self.definition.server_keys, output.signatures
+                )
+            ],
+            hot_bases=hot_bases_within_budget(
+                key.y for key in self.definition.server_keys
+            ),
         ):
-            if not schnorr_verify(server_key, digest, signature):
-                raise InvalidSignature("server signature on round output invalid")
+            raise InvalidSignature("server signature on round output invalid")
 
     def handle_output(self, output: RoundOutput) -> list[SlotContent]:
         """Digest a certified round output; returns decoded slot contents."""

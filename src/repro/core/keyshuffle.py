@@ -19,12 +19,20 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.core.config import GroupDefinition
-from repro.crypto import shuffle
+from repro.crypto import schnorr, shuffle
+from repro.crypto.elgamal import Ciphertext
+from repro.crypto.groups import SchnorrGroup, hot_bases_within_budget
 from repro.crypto.keys import PrivateKey, PublicKey
-from repro.crypto.schnorr import Signature, sign as schnorr_sign, verify as schnorr_verify
+from repro.crypto.schnorr import Signature, sign as schnorr_sign
 from repro.crypto.shuffle import CipherVector, ShuffleTranscript
 from repro.errors import ShuffleError
-from repro.util.serialization import pack_fields
+from repro.net.message import (
+    SHUFFLE_SUBMISSION,
+    SignedEnvelope,
+    batch_verify_envelopes,
+    make_envelope,
+)
+from repro.util.serialization import pack_fields, unpack_fields
 
 
 @dataclass(frozen=True)
@@ -64,21 +72,164 @@ def verify_session_keys(
     session_keys: Sequence[ShuffleSessionKey],
     purpose: bytes,
 ) -> list[PublicKey]:
-    """Validate every server's signed ephemeral key; returns them in order."""
+    """Validate every server's signed ephemeral key; returns them in order.
+
+    All M signatures are folded into one multi-exponentiation (the
+    long-term server keys are hot fixed-base tables); a failing batch
+    bisects to the exact forger, so the verdict matches per-key checks.
+    """
     if len(session_keys) != definition.num_servers:
         raise ShuffleError("need exactly one shuffle key per server")
-    publics: list[PublicKey] = []
     for j, session_key in enumerate(session_keys):
         if session_key.server_index != j:
             raise ShuffleError("shuffle keys out of server order")
-        if not schnorr_verify(
+    items = [
+        (
             definition.server_keys[j],
             session_key.signed_payload(purpose),
             session_key.signature,
-        ):
-            raise ShuffleError(f"server {j} shuffle key signature invalid")
-        publics.append(session_key.public)
-    return publics
+        )
+        for j, session_key in enumerate(session_keys)
+    ]
+    hot = hot_bases_within_budget(key.y for key in definition.server_keys)
+    if not schnorr.batch_verify(items, hot_bases=hot):
+        culprit = schnorr.find_invalid(items, hot_bases=hot, known_failed=True)[0]
+        raise ShuffleError(f"server {culprit} shuffle key signature invalid")
+    return [session_key.public for session_key in session_keys]
+
+
+# ---------------------------------------------------------------------------
+# Signed shuffle submissions
+# ---------------------------------------------------------------------------
+
+#: Shuffle submissions precede DC-net rounds; their envelopes carry this
+#: sentinel round number.  Run freshness comes from :func:`shuffle_run_id`,
+#: which every submission embeds in its signed body.
+SCHEDULING_ROUND = 0
+
+_RUN_ID_DOMAIN = b"dissent.shuffle-run-id.v1"
+
+
+def shuffle_run_id(purpose: bytes, shuffle_publics: Sequence[PublicKey]) -> bytes:
+    """Unique identifier of one shuffle run.
+
+    Hashes the purpose together with the servers' *ephemeral* session
+    keys, which are fresh per run — so a submission signed over this id
+    cannot be replayed into a later session of the same group (where the
+    static group id and purpose repeat but the mix keys do not).
+    """
+    from repro.crypto.hashing import sha256
+
+    return sha256(
+        _RUN_ID_DOMAIN, purpose, *[public.to_bytes() for public in shuffle_publics]
+    )
+
+
+def pack_cipher_vector(group: SchnorrGroup, vector: CipherVector) -> bytes:
+    """Canonical byte encoding of one shuffle input vector."""
+    return pack_fields(*[ct.to_bytes(group) for ct in vector])
+
+
+def unpack_cipher_vector(group: SchnorrGroup, data: bytes) -> CipherVector:
+    """Invert :func:`pack_cipher_vector`, validating every element."""
+    fields = unpack_fields(data)
+    if not fields:
+        raise ShuffleError("shuffle submission carries no ciphertexts")
+    vector = []
+    for field_bytes in fields:
+        if not isinstance(field_bytes, bytes):
+            raise ShuffleError("malformed shuffle submission body")
+        vector.append(Ciphertext.from_bytes(group, field_bytes))
+    return tuple(vector)
+
+
+def sign_shuffle_submission(
+    key: PrivateKey,
+    sender: str,
+    group_id: bytes,
+    group: SchnorrGroup,
+    vector: CipherVector,
+    run_id: bytes,
+) -> SignedEnvelope:
+    """Wrap a client's shuffle input in a signed envelope.
+
+    Signing the onion-encrypted submission binds it to the client's
+    long-term identity, so a malformed or duplicated input is attributable
+    before the cascade spends any mixing work on it; the embedded
+    :func:`shuffle_run_id` pins it to *this* run's ephemeral mix keys so a
+    stale submission cannot be replayed into a later session.
+    """
+    return make_envelope(
+        key,
+        SHUFFLE_SUBMISSION,
+        sender,
+        group_id,
+        SCHEDULING_ROUND,
+        pack_fields(run_id, pack_cipher_vector(group, vector)),
+    )
+
+
+def open_shuffle_submissions(
+    definition: GroupDefinition,
+    envelopes: Sequence[SignedEnvelope],
+    run_id: bytes,
+) -> list[CipherVector]:
+    """Screen, batch-verify, and decode all signed shuffle submissions.
+
+    One multi-exponentiation covers every client's envelope signature
+    (client long-term keys ride the hot fixed-base tables when they fit);
+    a failing batch bisects to the exact forged submissions and raises
+    naming them.  Returns the decoded cipher vectors in client order.
+    """
+    if len(envelopes) != definition.num_clients:
+        raise ShuffleError("need exactly one shuffle submission per client")
+    group = definition.group
+    group_id = definition.group_id()
+    for i, envelope in enumerate(envelopes):
+        if envelope.msg_type != SHUFFLE_SUBMISSION:
+            raise ShuffleError("non-submission envelope in shuffle setup")
+        if envelope.group_id != group_id:
+            raise ShuffleError("shuffle submission for a different group")
+        if envelope.round_number != SCHEDULING_ROUND:
+            raise ShuffleError("shuffle submission carries a stale round number")
+        if envelope.sender != definition.client_name(i):
+            raise ShuffleError("shuffle submissions out of client order")
+    items = [
+        (envelope, definition.client_keys[i])
+        for i, envelope in enumerate(envelopes)
+    ]
+    invalid = batch_verify_envelopes(
+        items,
+        hot_bases=hot_bases_within_budget(
+            key.y for key in definition.client_keys
+        ),
+    )
+    if invalid:
+        culprits = ", ".join(envelopes[i].sender for i in invalid)
+        raise ShuffleError(f"shuffle submission signature invalid: {culprits}")
+    # Bodies are interpreted only after signatures check out, so a bad
+    # run id or a malformed body is attributed to a *proven* sender, not
+    # to a forger spoofing an honest client's name.
+    vectors: list[CipherVector] = []
+    for envelope in envelopes:
+        try:
+            embedded_run_id, body = unpack_fields(envelope.body)
+        except ValueError as exc:
+            raise ShuffleError(
+                f"malformed shuffle submission from {envelope.sender}: {exc}"
+            ) from exc
+        if embedded_run_id != run_id:
+            raise ShuffleError(
+                f"shuffle submission from {envelope.sender} is bound to a "
+                "different run (replay?)"
+            )
+        try:
+            vectors.append(unpack_cipher_vector(group, body))
+        except Exception as exc:
+            raise ShuffleError(
+                f"malformed shuffle submission from {envelope.sender}: {exc}"
+            ) from exc
+    return vectors
 
 
 @dataclass(frozen=True)
@@ -112,7 +263,12 @@ def run_key_shuffle(
         rng=rng,
     )
     publics = [key.public for key in shuffle_privates]
-    if not shuffle.verify_transcript(publics, transcript, context=context):
+    if not shuffle.verify_transcript(
+        publics,
+        transcript,
+        context=context,
+        soundness_bits=definition.policy.shuffle_soundness_bits,
+    ):
         raise ShuffleError("key shuffle transcript failed verification")
     elements = transcript.outputs(definition.group)
     return KeyShuffleResult(slot_elements=tuple(elements), transcript=transcript)
@@ -147,7 +303,12 @@ def run_message_shuffle(
         rng=rng,
     )
     publics = [key.public for key in shuffle_privates]
-    if not shuffle.verify_transcript(publics, transcript, context=context):
+    if not shuffle.verify_transcript(
+        publics,
+        transcript,
+        context=context,
+        soundness_bits=definition.policy.shuffle_soundness_bits,
+    ):
         raise ShuffleError("message shuffle transcript failed verification")
     group = definition.group
     messages: list[bytes] = []

@@ -32,9 +32,11 @@ from repro.core.config import GroupDefinition
 from repro.core.rounds import RoundOutput, output_digest
 from repro.core.schedule import RoundLayout, Scheduler, SlotContent
 from repro.crypto import dh, prng
+from repro.crypto.groups import hot_bases_within_budget
 from repro.crypto.hashing import commit as hash_commit, verify_commit
 from repro.crypto.keys import PrivateKey
-from repro.crypto.schnorr import Signature, sign as schnorr_sign, verify as schnorr_verify
+from repro.crypto import schnorr
+from repro.crypto.schnorr import Signature, sign as schnorr_sign
 from repro.errors import CommitmentMismatch, ProtocolError
 from repro.net.message import (
     CLIENT_CIPHERTEXT,
@@ -42,7 +44,9 @@ from repro.net.message import (
     SERVER_INVENTORY,
     SERVER_REVEAL,
     SignedEnvelope,
+    batch_verify_envelopes,
     make_envelope,
+    require_envelopes_valid,
 )
 from repro.util.bytesops import xor_many
 from repro.util.serialization import pack_fields, unpack_fields
@@ -170,26 +174,53 @@ class DissentServer:
 
     def accept_ciphertext(self, envelope: SignedEnvelope) -> bool:
         """Validate and store one client submission; False if rejected."""
+        return self.accept_ciphertexts([envelope])[0]
+
+    def accept_ciphertexts(self, envelopes: list[SignedEnvelope]) -> list[bool]:
+        """Validate and store a batch of client submissions.
+
+        Structural screening (phase, type, round, group id, sender, body
+        length) is per envelope and costs no crypto; the surviving
+        signatures are then checked with **one** multi-exponentiation
+        (:func:`repro.net.message.batch_verify_envelopes`), with the
+        clients' long-term keys as hot fixed-base tables.  A failing batch
+        bisects to the exact forged envelopes, so the accept/reject vector
+        is bit-identical to verifying each submission individually.
+        """
+        verdicts = [False] * len(envelopes)
         if self.phase is not Phase.COLLECTING:
-            return False
+            return verdicts
         state = self.state
-        if envelope.msg_type != CLIENT_CIPHERTEXT:
-            return False
-        if envelope.round_number != state.round_number:
-            return False
-        if envelope.group_id != self.group_id:
-            return False
-        client_index = self._client_index(envelope.sender)
-        if client_index is None or client_index in self.expelled:
-            return False
-        if len(envelope.body) != state.layout.total_bytes:
-            return False
-        try:
-            envelope.verify(self.definition.client_keys[client_index])
-        except Exception:
-            return False
-        state.received[client_index] = envelope
-        return True
+        candidates: list[tuple[int, int]] = []  # (envelope position, client)
+        for position, envelope in enumerate(envelopes):
+            if envelope.msg_type != CLIENT_CIPHERTEXT:
+                continue
+            if envelope.round_number != state.round_number:
+                continue
+            if envelope.group_id != self.group_id:
+                continue
+            client_index = self._client_index(envelope.sender)
+            if client_index is None or client_index in self.expelled:
+                continue
+            if len(envelope.body) != state.layout.total_bytes:
+                continue
+            candidates.append((position, client_index))
+        items = [
+            (envelopes[position], self.definition.client_keys[client_index])
+            for position, client_index in candidates
+        ]
+        invalid = set(
+            batch_verify_envelopes(
+                items,
+                hot_bases=hot_bases_within_budget(key.y for _, key in items),
+            )
+        )
+        for slot, (position, client_index) in enumerate(candidates):
+            if slot in invalid:
+                continue
+            state.received[client_index] = envelopes[position]
+            verdicts[position] = True
+        return verdicts
 
     def _client_index(self, sender: str) -> int | None:
         if not sender.startswith("client-"):
@@ -236,13 +267,15 @@ class DissentServer:
         state = self.state
         if len(envelopes) != self.definition.num_servers:
             raise ProtocolError("need exactly one inventory per server")
+        indices = []
         for envelope in envelopes:
             if envelope.msg_type != SERVER_INVENTORY:
                 raise ProtocolError("non-inventory envelope in inventory phase")
             if envelope.round_number != state.round_number:
                 raise ProtocolError("inventory for a different round")
-            server_index = self._server_index(envelope.sender)
-            envelope.verify(self.definition.server_keys[server_index])
+            indices.append(self._server_index(envelope.sender))
+        self._verify_peer_batch(envelopes, indices)
+        for envelope, server_index in zip(envelopes, indices):
             listed = (
                 tuple(int(x) for x in unpack_fields(envelope.body))
                 if envelope.body
@@ -267,6 +300,25 @@ class DissentServer:
         if not 0 <= index < self.definition.num_servers:
             raise ProtocolError(f"server index {index} out of range")
         return index
+
+    def _verify_peer_batch(
+        self, envelopes: list[SignedEnvelope], indices: list[int]
+    ) -> None:
+        """Check all peer-server signatures with one multi-exponentiation.
+
+        Peer long-term keys recur every round, so they ride the cached
+        fixed-base tables.  A failing batch bisects to the forging peers
+        and raises naming them — identical verdicts to per-envelope checks.
+        """
+        require_envelopes_valid(
+            [
+                (envelope, self.definition.server_keys[j])
+                for envelope, j in zip(envelopes, indices)
+            ],
+            hot_bases=hot_bases_within_budget(
+                key.y for key in self.definition.server_keys
+            ),
+        )
 
     def participation_ok(self) -> bool:
         """§3.7 floor: |l| >= alpha * (previous round's participation)."""
@@ -312,13 +364,15 @@ class DissentServer:
         state = self.state
         if len(envelopes) != self.definition.num_servers:
             raise ProtocolError("need exactly one commitment per server")
+        indices = []
         for envelope in envelopes:
             if envelope.msg_type != SERVER_COMMIT:
                 raise ProtocolError("non-commit envelope in commitment phase")
-            server_index = self._server_index(envelope.sender)
-            envelope.verify(self.definition.server_keys[server_index])
             if envelope.round_number != state.round_number:
                 raise ProtocolError("commitment for a different round")
+            indices.append(self._server_index(envelope.sender))
+        self._verify_peer_batch(envelopes, indices)
+        for envelope, server_index in zip(envelopes, indices):
             state.commitments[server_index] = envelope.body
 
     # ------------------------------------------------------------------
@@ -350,13 +404,15 @@ class DissentServer:
         if len(envelopes) != self.definition.num_servers:
             raise ProtocolError("need exactly one reveal per server")
         blobs: list[bytes] = [b""] * self.definition.num_servers
+        indices = []
         for envelope in envelopes:
             if envelope.msg_type != SERVER_REVEAL:
                 raise ProtocolError("non-reveal envelope in combining phase")
-            server_index = self._server_index(envelope.sender)
-            envelope.verify(self.definition.server_keys[server_index])
             if envelope.round_number != state.round_number:
                 raise ProtocolError("reveal for a different round")
+            indices.append(self._server_index(envelope.sender))
+        self._verify_peer_batch(envelopes, indices)
+        for envelope, server_index in zip(envelopes, indices):
             if not verify_commit(state.commitments[server_index], envelope.body):
                 raise CommitmentMismatch(
                     f"server {server_index} revealed a ciphertext that does not "
@@ -396,9 +452,19 @@ class DissentServer:
         digest = output_digest(
             self.group_id, state.round_number, state.cleartext, state.participation
         )
-        for server_key, signature in zip(self.definition.server_keys, signatures):
-            if not schnorr_verify(server_key, digest, signature):
-                raise ProtocolError("peer server signature on output invalid")
+        # All M output signatures cover the same digest: one multi-exp.
+        if not schnorr.batch_verify(
+            [
+                (server_key, digest, signature)
+                for server_key, signature in zip(
+                    self.definition.server_keys, signatures
+                )
+            ],
+            hot_bases=hot_bases_within_budget(
+                key.y for key in self.definition.server_keys
+            ),
+        ):
+            raise ProtocolError("peer server signature on output invalid")
         return RoundOutput(
             round_number=state.round_number,
             cleartext=state.cleartext,

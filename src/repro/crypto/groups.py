@@ -34,6 +34,28 @@ from repro.errors import CryptoError
 #: table build amortizes after roughly ten exponentiations.
 FIXED_BASE_WINDOW = 5
 
+#: Most distinct bases one batched verification should mark hot.  The
+#: fixed-base table LRU below holds 96 entries; a caller routing more
+#: recurring keys than this through :meth:`SchnorrGroup.exp_fixed` would
+#: build-and-evict tables (~10 plain exponentiations each) instead of
+#: amortizing them, ending up slower than the shared Pippenger ladder.
+#: The budget must leave room for one full client batch *plus* the
+#: generator and a paper-scale peer-key set (up to 32 servers) to stay
+#: resident together: 48 + 32 + 1 <= 96, with headroom to spare.
+HOT_BASE_BUDGET = 48
+
+
+def hot_bases_within_budget(bases: Iterable[int]) -> tuple[int, ...]:
+    """``bases`` when they fit the table cache, else none.
+
+    Batch-verification call sites pass every recurring sender key through
+    this guard: under the budget the keys win fixed-base table speed;
+    over it they stay on the transient multi-exponentiation path, which
+    beats thrashing the LRU.
+    """
+    bases = tuple(bases)
+    return bases if len(bases) <= HOT_BASE_BUDGET else ()
+
 
 def _jacobi(a: int, n: int) -> int:
     """Jacobi symbol (a|n) for odd n > 0 (the Legendre symbol for prime n).
@@ -67,14 +89,17 @@ def _multiexp_window(count: int, max_bits: int) -> int:
     return max(1, min(width, max_bits))
 
 
-@lru_cache(maxsize=16)
+@lru_cache(maxsize=96)
 def _fixed_base_table(p: int, q: int, base: int) -> tuple[tuple[int, ...], ...]:
     """Precomputed window table: ``table[i][d] = base**(d * 2**(w*i)) mod p``.
 
-    Cached per (modulus, base), so long-lived bases — the generator and
-    server/combined public keys — pay the build cost once per process.
-    A 2048-bit table is ~3.5 MB, so the cache is kept small; callers must
-    only route *recurring* bases through :meth:`SchnorrGroup.exp_fixed`.
+    Cached per (modulus, base), so long-lived bases — the generator,
+    server/combined public keys, and the long-term client keys a server
+    re-verifies every round in batched signature checks — pay the build
+    cost once per process.  A 2048-bit table is ~3.5 MB (1536-bit ~1.9 MB),
+    so the LRU bound caps worst-case residency near 350 MB while letting a
+    full round's hot-key working set (tens of keys) stay resident; callers
+    must only route *recurring* bases through :meth:`SchnorrGroup.exp_fixed`.
     """
     w = FIXED_BASE_WINDOW
     blocks = (q.bit_length() + w - 1) // w

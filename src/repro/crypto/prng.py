@@ -10,14 +10,57 @@ string is XORed into the round an even number of times.
 We build the stream from SHAKE-256 (an XOF), domain-separated by purpose,
 pair secret, and round number.  SHAKE gives ~170 MB/s in CPython, ample for
 functional tests; large-scale timing runs use the simulator's cost model.
+
+Per-pair secrets never change within a session, so the domain, length
+prefix, and secret are absorbed **once** into a cached SHAKE state; each
+round then ``copy()``s the state and absorbs only the 8-byte round number.
+Output is byte-for-byte identical to absorbing everything fresh (SHAKE
+absorption is sequential, and ``hashlib`` copies preserve absorbed state)
+while skipping the secret re-hash on every one of the N*M per-round
+streams — and, as a side effect, keeping long-term secrets out of the
+per-round hashing hot loop.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 
 _DOMAIN_PAIR = b"dissent.pair-stream.v1"
 _DOMAIN_SEED = b"dissent.seed-stream.v1"
+
+#: Pre-absorbed SHAKE-256 states keyed by pair secret, LRU-bounded.  A
+#: state is a few hundred bytes, so the bound is generous: a 1024-client /
+#: 32-server node touches 32 distinct secrets (a server: up to 1024).
+#:
+#: Deliberate tradeoff: cached secrets (keys and absorbed states) stay
+#: reachable in process memory until evicted — longer than the old
+#: absorb-and-drop derivation kept them.  A node retiring a session's DH
+#: secrets should call :func:`clear_pair_state_cache` so they cannot be
+#: recovered from a later heap disclosure.
+_PAIR_STATE_CACHE_MAX = 4096
+_pair_states: OrderedDict[bytes, "hashlib._Hash"] = OrderedDict()
+
+
+def clear_pair_state_cache() -> None:
+    """Drop every cached pair-secret state (session teardown hygiene)."""
+    _pair_states.clear()
+
+
+def _pair_state(shared_secret: bytes):
+    """The SHAKE state with domain, length prefix, and secret absorbed."""
+    state = _pair_states.get(shared_secret)
+    if state is None:
+        state = hashlib.shake_256()
+        state.update(_DOMAIN_PAIR)
+        state.update(len(shared_secret).to_bytes(4, "big"))
+        state.update(shared_secret)
+        _pair_states[shared_secret] = state
+        if len(_pair_states) > _PAIR_STATE_CACHE_MAX:
+            _pair_states.popitem(last=False)
+    else:
+        _pair_states.move_to_end(shared_secret)
+    return state
 
 
 def pair_stream(shared_secret: bytes, round_number: int, length: int) -> bytes:
@@ -34,10 +77,7 @@ def pair_stream(shared_secret: bytes, round_number: int, length: int) -> bytes:
     """
     if length < 0:
         raise ValueError("stream length must be non-negative")
-    xof = hashlib.shake_256()
-    xof.update(_DOMAIN_PAIR)
-    xof.update(len(shared_secret).to_bytes(4, "big"))
-    xof.update(shared_secret)
+    xof = _pair_state(shared_secret).copy()
     xof.update(round_number.to_bytes(8, "big"))
     return xof.digest(length)
 

@@ -1,4 +1,4 @@
-"""Schnorr signatures.
+"""Schnorr signatures (commitment form, deterministic nonces, batchable).
 
 "All network messages are signed to ensure integrity and accountability"
 (paper §3.3).  We use textbook Schnorr over the protocol group with a
@@ -9,82 +9,225 @@ Fiat-Shamir challenge:
     s       = k + c*x  mod q
     verify  g**s == t * y**c
 
-Signatures are (c, s) pairs (challenge form), which verify by recomputing
-``t' = g**s * y**(-c)`` and checking ``c == H(..., t', message)``.
+Signatures are **commitment form** ``(t, s)`` pairs: carrying the
+commitment instead of the challenge makes the verification equation
+*linear* in known group elements (``g``, ``y``, ``t``), so a whole round's
+worth of envelope signatures can be checked with one random-linear-
+combination multi-exponentiation (:func:`batch_verify`) — the same trick
+Verdict applies to its proofs, and the reason the earlier challenge-form
+``(c, s)`` encoding was retired.  Soundness is unchanged: the hash binds
+the transmitted commitment exactly as the challenge form did.
+
+Nonces are **deterministic** (RFC 6979 in spirit): ``k`` is derived by
+hashing the private scalar together with the message, so nonce reuse
+across distinct messages is impossible even under seeded test RNGs or a
+broken system RNG — the classic Schnorr/ECDSA key-extraction footgun.
+Signing is therefore a pure function: the same key and message always
+produce the same signature.
+
+When a batch fails, :func:`find_invalid` isolates the exact forged
+signatures by bisection with per-signature rechecks at the leaves, so
+accept/reject decisions and blame stay bit-identical to verifying every
+signature individually.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.crypto.hashing import challenge_scalar
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.errors import InvalidSignature
 
-_DOMAIN = b"dissent.schnorr-sig.v1"
+_DOMAIN = b"dissent.schnorr-sig.v2"
+_DOMAIN_NONCE = b"dissent.schnorr-nonce.v1"
 
 
 @dataclass(frozen=True)
 class Signature:
-    """A Schnorr signature in challenge form."""
+    """A Schnorr signature in commitment form ``(t, s)``.
 
-    c: int
+    ``t`` is a group element (the nonce commitment ``g**k``); ``s`` is the
+    response scalar.  Wire encoding is the fixed-width element encoding of
+    ``t`` followed by the fixed-width scalar encoding of ``s``.
+    """
+
+    t: int
     s: int
 
     def to_bytes(self, group) -> bytes:
-        width = group.scalar_bytes
-        return self.c.to_bytes(width, "big") + self.s.to_bytes(width, "big")
+        return group.element_to_bytes(self.t) + self.s.to_bytes(
+            group.scalar_bytes, "big"
+        )
 
     @classmethod
     def from_bytes(cls, group, data: bytes) -> "Signature":
-        width = group.scalar_bytes
-        if len(data) != 2 * width:
+        width = group.element_bytes + group.scalar_bytes
+        if len(data) != width:
             raise InvalidSignature(
-                f"signature must be {2 * width} bytes, got {len(data)}"
+                f"signature must be {width} bytes, got {len(data)}"
             )
         return cls(
-            int.from_bytes(data[:width], "big"),
-            int.from_bytes(data[width:], "big"),
+            int.from_bytes(data[: group.element_bytes], "big"),
+            int.from_bytes(data[group.element_bytes :], "big"),
         )
 
 
-def sign(key: PrivateKey, message: bytes) -> Signature:
-    """Sign ``message`` with a fresh per-signature nonce."""
+def _nonce(key: PrivateKey, message: bytes) -> int:
+    """Deterministic per-(key, message) nonce in ``[1, q-1]``.
+
+    Hashing the private scalar with the message (RFC 6979 style) makes the
+    nonce a pure function of the signing input: two distinct messages get
+    independent nonces, and the same message re-signed reuses the *whole*
+    signature rather than leaking ``x`` through a repeated ``t`` with a
+    fresh challenge.
+    """
     group = key.group
-    k = group.random_scalar()
-    t = group.exp_g(k)
-    c = challenge_scalar(
+    x_bytes = key.x.to_bytes(group.scalar_bytes, "big")
+    counter = 0
+    while True:
+        k = challenge_scalar(
+            group.q,
+            _DOMAIN_NONCE,
+            x_bytes,
+            counter.to_bytes(4, "big"),
+            message,
+        )
+        if k != 0:
+            return k
+        counter += 1
+
+
+def _challenge(group, y: int, t: int, message: bytes) -> int:
+    return challenge_scalar(
         group.q,
         _DOMAIN,
-        group.element_to_bytes(key.y),
+        group.element_to_bytes(y),
         group.element_to_bytes(t),
         message,
     )
+
+
+def sign(key: PrivateKey, message: bytes) -> Signature:
+    """Sign ``message`` with a deterministically derived nonce."""
+    group = key.group
+    k = _nonce(key, message)
+    t = group.exp_g(k)
+    c = _challenge(group, key.y, t, message)
     s = (k + c * key.x) % group.q
-    return Signature(c, s)
+    return Signature(t, s)
+
+
+def _structural_ok(key: PublicKey, signature: Signature) -> bool:
+    """Range/membership preconditions shared by scalar and batch paths."""
+    group = key.group
+    if not 0 <= signature.s < group.q:
+        return False
+    return group.is_element(signature.t)
 
 
 def verify(key: PublicKey, message: bytes, signature: Signature) -> bool:
     """True iff ``signature`` is valid for ``message`` under ``key``."""
     group = key.group
-    if not (0 <= signature.c < group.q and 0 <= signature.s < group.q):
+    if not _structural_ok(key, signature):
         return False
-    # t' = g**s / y**c
-    t = group.mul(
-        group.exp_g(signature.s),
-        group.inv(group.exp(key.y, signature.c)),
+    c = _challenge(group, key.y, signature.t, message)
+    return group.exp_g(signature.s) == group.mul(
+        signature.t, group.exp(key.y, c)
     )
-    expected = challenge_scalar(
-        group.q,
-        _DOMAIN,
-        group.element_to_bytes(key.y),
-        group.element_to_bytes(t),
-        message,
-    )
-    return expected == signature.c
 
 
 def require_valid(key: PublicKey, message: bytes, signature: Signature) -> None:
     """Raise :class:`InvalidSignature` unless the signature verifies."""
     if not verify(key, message, signature):
         raise InvalidSignature("Schnorr signature verification failed")
+
+
+# ---------------------------------------------------------------------------
+# Batched verification: one multi-exponentiation for a whole round
+# ---------------------------------------------------------------------------
+
+#: One signature check for batching: ``(public key, message, signature)``.
+BatchItem = tuple[PublicKey, bytes, Signature]
+
+
+def batch_verify(
+    items: Sequence[BatchItem],
+    hot_bases: Sequence[int] = (),
+    rng=None,
+) -> bool:
+    """Check many signatures with one multi-exponentiation.
+
+    Each signature's equation ``g**s == t * y**c`` is raised to an
+    independent short random coefficient and multiplied into one product
+    that must equal the identity; a forger passes only by predicting the
+    coefficient in advance (probability ``2**-BATCH_COEFF_BITS``, see
+    :mod:`repro.crypto.proofs`).  Accepts iff — with overwhelming
+    probability — every signature would pass :func:`verify` individually;
+    on ``False`` use :func:`find_invalid` to name the exact culprits.
+
+    Empty batches accept; single-item batches take the scalar path (no
+    coefficient needed when there is nothing to combine).
+
+    Args:
+        hot_bases: long-lived public-key elements routed through the
+            cached fixed-base window tables — pass the long-term keys the
+            caller verifies every round (servers' peers, a server's
+            attached clients) so each full-width ``y**c`` costs a table
+            walk instead of a fresh exponentiation.
+    """
+    from repro.crypto.proofs import _batch_coefficient
+
+    if not items:
+        return True
+    if len(items) == 1:
+        key, message, signature = items[0]
+        return verify(key, message, signature)
+    group = items[0][0].group
+    pairs: list[tuple[int, int]] = []
+    g_exponent = 0
+    for key, message, signature in items:
+        if key.group is not group and key.group != group:
+            raise InvalidSignature("batched signatures must share one group")
+        if not _structural_ok(key, signature):
+            return False
+        c = _challenge(group, key.y, signature.t, message)
+        alpha = _batch_coefficient(group, rng)
+        # g**(alpha*s) == t**alpha * y**(alpha*c), accumulated per side.
+        # Comparing the two sides directly (rather than folding everything
+        # into one identity-form product) keeps every transient exponent at
+        # coefficient width: a negated exponent reduced mod q would be
+        # full-width and stretch the shared Pippenger ladder by 12x.
+        g_exponent += alpha * signature.s
+        pairs.append((key.y, alpha * c))
+        pairs.append((signature.t, alpha))
+    return group.exp_g(g_exponent) == group.multiexp(pairs, hot_bases=hot_bases)
+
+
+def find_invalid(
+    items: Sequence[BatchItem],
+    hot_bases: Sequence[int] = (),
+    rng=None,
+    known_failed: bool = False,
+) -> tuple[int, ...]:
+    """Indices of the invalid signatures among ``items`` (exact culprit set).
+
+    Fast path: one batched check accepting everything.  A failing batch
+    bisects down to per-signature :func:`verify` calls at the leaves, so
+    the returned set is exactly what an unbatched verifier would reject.
+    Callers that already watched the full batch fail pass
+    ``known_failed=True`` to skip re-running it.
+    """
+    from repro.crypto.proofs import _bisect_invalid
+
+    if not items:
+        return ()
+    return tuple(
+        _bisect_invalid(
+            list(range(len(items))),
+            lambda idx: batch_verify([items[i] for i in idx], hot_bases, rng),
+            lambda i: verify(*items[i]),
+            known_failed,
+        )
+    )

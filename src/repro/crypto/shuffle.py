@@ -46,7 +46,12 @@ from repro.crypto.elgamal import Ciphertext
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import PrivateKey, PublicKey
-from repro.crypto.proofs import DleqProof, batch_verify_dleq, prove_dleq
+from repro.crypto.proofs import (
+    DleqProof,
+    _batch_coefficient,
+    batch_verify_dleq,
+    prove_dleq,
+)
 from repro.errors import ShuffleError
 
 #: Statistical soundness parameter: a dishonest mix survives verification
@@ -298,30 +303,87 @@ def shuffle_step(
     )
 
 
-def _verify_link(
-    remaining_key: PublicKey,
+#: One re-randomization link equation: target == source rerandomized by r.
+_LinkEquation = tuple[Ciphertext, Ciphertext, int]
+
+
+def _link_equations(
     source: Sequence[CipherVector],
     target: Sequence[CipherVector],
     permutation: Sequence[int],
     randomness: Sequence[Sequence[int]],
-) -> bool:
-    """Check target[k] == rerandomize(source[permutation[k]], randomness[k])."""
-    group = remaining_key.group
+) -> list[_LinkEquation] | None:
+    """Structural screen of one opened branch; returns its link equations.
+
+    Checks target[k] == rerandomize(source[permutation[k]], randomness[k])
+    *shape-wise* (permutation validity, vector widths) and emits one
+    ``(src, tgt, r)`` triple per ciphertext component for the batched
+    algebra check.  Returns None when the shape itself is wrong.
+    """
     n = len(source)
     if sorted(permutation) != list(range(n)) or len(randomness) != n:
-        return False
+        return None
+    equations: list[_LinkEquation] = []
     for k in range(n):
         src_vector = source[permutation[k]]
         tgt_vector = target[k]
         r_vector = randomness[k]
         if len(src_vector) != len(tgt_vector) or len(r_vector) != len(src_vector):
-            return False
-        for src, tgt, r in zip(src_vector, tgt_vector, r_vector):
-            expected_a = group.mul(src.a, group.exp(group.g, r))
-            expected_b = group.mul(src.b, group.exp(remaining_key.y, r))
-            if tgt.a != expected_a or tgt.b != expected_b:
+            return None
+        equations.extend(zip(src_vector, tgt_vector, r_vector))
+    return equations
+
+
+def _batch_verify_links(
+    remaining_key: PublicKey,
+    equations: Sequence[_LinkEquation],
+    rng=None,
+) -> bool:
+    """Check every opened re-randomization link with one multi-exponentiation.
+
+    Each equation pair ``tgt.a == src.a * g**r`` / ``tgt.b == src.b * y**r``
+    is raised to independent short random coefficients and folded into a
+    single product that must equal the identity — exactly how the strip
+    proofs batch.  The generator and the remaining combined key absorb all
+    the full-width exponent mass through their fixed-base tables, so a
+    cut-and-choose argument with ``lam`` bridges costs one multi-exp
+    instead of ``2*lam*N*W`` exponentiations.
+
+    Every element is first checked for subgroup membership (Legendre-fast):
+    outside the order-q subgroup, small-order components could cancel a
+    random linear combination with noticeable probability.
+    """
+    group = remaining_key.group
+    checked: set[int] = set()
+    for src, tgt, _ in equations:
+        for value in (src.a, src.b, tgt.a, tgt.b):
+            if value in checked:
+                continue
+            if not group.is_element(value):
                 return False
-    return True
+            checked.add(value)
+    left: list[tuple[int, int]] = []
+    right: list[tuple[int, int]] = []
+    g_exponent = 0
+    y_exponent = 0
+    for src, tgt, r in equations:
+        alpha = _batch_coefficient(group, rng)
+        beta = _batch_coefficient(group, rng)
+        # (src.a * g**r)**alpha * (src.b * y**r)**beta == tgt.a**alpha * tgt.b**beta
+        # The sides are compared directly so every transient exponent stays
+        # at coefficient width (negating one side mod q would make its
+        # exponents full-width and stretch the shared Pippenger ladder).
+        g_exponent += alpha * r
+        y_exponent += beta * r
+        left.append((src.a, alpha))
+        left.append((src.b, beta))
+        right.append((tgt.a, alpha))
+        right.append((tgt.b, beta))
+    left.append((group.g, g_exponent))
+    left.append((remaining_key.y, y_exponent))
+    return group.multiexp(left, hot_bases=(remaining_key.y,)) == group.multiexp(
+        right
+    )
 
 
 def verify_step(
@@ -330,11 +392,23 @@ def verify_step(
     inputs: Sequence[CipherVector],
     step: ShuffleStep,
     context: bytes = b"",
+    soundness_bits: int = DEFAULT_SOUNDNESS_BITS,
 ) -> bool:
     """Verify one server's published cascade step.
 
     Checks the cut-and-choose argument (every opened branch must verify and
     match the Fiat-Shamir challenge bits) and every decryption proof.
+    ``soundness_bits`` is the *verifier's* requirement: a step publishing
+    fewer bridges than demanded is rejected outright — the prover must not
+    get to choose its own cheating probability (an empty argument would
+    otherwise verify vacuously).
+
+    All ``lam`` opened branches' re-randomization links collapse into one
+    multi-exponentiation (:func:`_batch_verify_links`), and all strip
+    proofs into a second — the whole step costs two multi-exps regardless
+    of the soundness parameter.  Culprit granularity is the step itself
+    (one server published it), so plain accept/reject suffices and the
+    verdict matches checking every link and proof individually.
     """
     group = server_public.group
     n = len(inputs)
@@ -342,30 +416,32 @@ def verify_step(
         return False
     if len(step.decryption_proofs) != n:
         return False
+    if len(step.argument.bridges) < max(1, soundness_bits):
+        return False
     remaining_key = elgamal.combined_key(remaining_keys)
 
     bits = _challenge_bits(group, context, inputs, step.permuted, step.argument.bridges)
     if len(step.argument.reveals) != len(step.argument.bridges):
         return False
+    link_equations: list[_LinkEquation] = []
     for bridge, reveal, bit in zip(step.argument.bridges, step.argument.reveals, bits):
         if reveal.side != bit:
             return False
         if len(bridge) != n:
             return False
         if bit == 0:
-            ok = _verify_link(
-                remaining_key, inputs, bridge, reveal.permutation, reveal.randomness
+            equations = _link_equations(
+                inputs, bridge, reveal.permutation, reveal.randomness
             )
         else:
-            ok = _verify_link(
-                remaining_key,
-                bridge,
-                step.permuted,
-                reveal.permutation,
-                reveal.randomness,
+            equations = _link_equations(
+                bridge, step.permuted, reveal.permutation, reveal.randomness
             )
-        if not ok:
+        if equations is None:
             return False
+        link_equations.extend(equations)
+    if not _batch_verify_links(remaining_key, link_equations):
+        return False
 
     # Verifiable decryption: componentwise b/b' == a**x_j, a unchanged.
     # One batched multi-exponentiation covers every strip proof of the
@@ -423,15 +499,27 @@ def verify_transcript(
     server_publics: Sequence[PublicKey],
     transcript: ShuffleTranscript,
     context: bytes = b"",
+    soundness_bits: int = DEFAULT_SOUNDNESS_BITS,
 ) -> bool:
-    """Verify a full cascade transcript against the server public keys."""
+    """Verify a full cascade transcript against the server public keys.
+
+    Every step must carry at least ``soundness_bits`` cut-and-choose
+    bridges; protocol callers pass their policy's requirement.
+    """
     if len(transcript.steps) != len(server_publics):
         return False
     current: Sequence[CipherVector] = transcript.inputs
     for j, (public, step) in enumerate(zip(server_publics, transcript.steps)):
         if step.server_index != j:
             return False
-        if not verify_step(public, server_publics[j:], current, step, context):
+        if not verify_step(
+            public,
+            server_publics[j:],
+            current,
+            step,
+            context,
+            soundness_bits=soundness_bits,
+        ):
             return False
         current = step.stripped
     return True

@@ -4,7 +4,9 @@
 (paper §3.3).  Every message exchanged in real-mode sessions is a
 :class:`SignedEnvelope`: a type tag, the sender's name, the group's
 self-certifying id, a round number, and an opaque body — all covered by a
-Schnorr signature under the sender's long-term key.
+commitment-form Schnorr signature under the sender's long-term key (the
+commitment form is what lets a verifier fold a whole round's envelopes
+into one multi-exponentiation, see :func:`batch_verify_envelopes`).
 
 Bodies are built with the canonical field packer so signatures are
 deterministic and unambiguous across nodes.
@@ -12,11 +14,13 @@ deterministic and unambiguous across nodes.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.crypto import schnorr
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.schnorr import Signature, require_valid, sign
-from repro.errors import ProtocolError
+from repro.errors import InvalidSignature, ProtocolError
 from repro.util.serialization import pack_fields
 
 # Message type tags (one per protocol step).
@@ -66,6 +70,53 @@ class SignedEnvelope:
     def verify(self, sender_key: PublicKey) -> None:
         """Raise :class:`InvalidSignature` if the envelope is not authentic."""
         require_valid(sender_key, self.signed_payload(), self.signature)
+
+
+def batch_verify_envelopes(
+    items: Sequence[tuple[SignedEnvelope, PublicKey]],
+    hot_bases: Sequence[int] = (),
+    rng=None,
+) -> tuple[int, ...]:
+    """Indices of envelopes whose signatures fail, via one multi-exponentiation.
+
+    The per-round verification workhorse: a server checking N client
+    ciphertexts (or M peer commits/reveals/inventories, or a client
+    checking M output signatures) passes all of them here and pays one
+    random-linear-combination multi-exponentiation when everything is
+    authentic — the common case.  A failing batch bisects down to scalar
+    :func:`repro.crypto.schnorr.verify` calls, so the returned culprit
+    set is exactly what per-envelope verification would reject.
+
+    Callers screen structural fields (type, round, group id, body length)
+    *before* batching: a stale or mistyped envelope must be rejected by
+    its metadata without spending signature work on it.
+
+    Args:
+        hot_bases: long-term key elements worth routing through the cached
+            fixed-base tables (the sender keys this verifier sees every
+            round).
+    """
+    sig_items = [
+        (sender_key, envelope.signed_payload(), envelope.signature)
+        for envelope, sender_key in items
+    ]
+    if schnorr.batch_verify(sig_items, hot_bases=hot_bases, rng=rng):
+        return ()
+    return schnorr.find_invalid(
+        sig_items, hot_bases=hot_bases, rng=rng, known_failed=True
+    )
+
+
+def require_envelopes_valid(
+    items: Sequence[tuple[SignedEnvelope, PublicKey]],
+    hot_bases: Sequence[int] = (),
+    rng=None,
+) -> None:
+    """Raise :class:`InvalidSignature` naming every forged sender."""
+    invalid = batch_verify_envelopes(items, hot_bases=hot_bases, rng=rng)
+    if invalid:
+        senders = ", ".join(items[i][0].sender for i in invalid)
+        raise InvalidSignature(f"envelope signature invalid from: {senders}")
 
 
 def make_envelope(

@@ -36,8 +36,21 @@ class CostModel:
     hash_bytes_per_sec: float = 150e6
     #: One signature creation.
     sign_seconds: float = 1.0e-3
-    #: One signature verification.
+    #: One signature verification (scalar path).
     verify_seconds: float = 1.2e-3
+    #: Whether per-round signature sets are checked with one random-linear-
+    #: combination multi-exponentiation (commitment-form Schnorr) instead
+    #: of one-at-a-time.  Matches the implementation's default.
+    batched_signatures: bool = True
+    #: Marginal cost of one signature inside a batch, as a fraction of
+    #: ``verify_seconds``: the short batching coefficient plus the hot
+    #: fixed-base table walk replace the two full exponentiations
+    #: (calibrated against ``benchmarks/bench_dcnet_round.py`` at 32
+    #: clients on the 1536-bit group).
+    batch_verify_fraction: float = 0.22
+    #: Fixed per-batch overhead in ``verify_seconds`` units (the shared
+    #: squaring ladder, coefficient sampling, and the one generator term).
+    batch_verify_overhead: float = 1.5
     #: One modular exponentiation in the *key-shuffle* group (§3.10's
     #: "more computationally efficient groups" for key shuffles).
     key_exp_seconds: float = 0.2e-3
@@ -73,21 +86,57 @@ class CostModel:
 
     # -- protocol-level aggregates ---------------------------------------
 
+    def verify_many_seconds(self, count: int) -> float:
+        """Seconds to check ``count`` signatures arriving together.
+
+        The batched model (default) charges one multi-exponentiation:
+        fixed overhead plus a small per-signature marginal cost.  With
+        ``batched_signatures=False`` — the pre-batching protocol — each
+        signature costs a full :attr:`verify_seconds`.  Zero or one
+        signature degrades to the scalar path in both models, exactly as
+        the implementation does.
+        """
+        if count <= 0:
+            return 0.0
+        if count == 1 or not self.batched_signatures:
+            return count * self.verify_seconds
+        return (
+            self.batch_verify_overhead + count * self.batch_verify_fraction
+        ) * self.verify_seconds
+
     def client_submission_compute(self, round_bytes: int, num_servers: int) -> float:
         """Client work per round: M streams + M XORs + one signature."""
         streams = self.prng_time(round_bytes * num_servers, self.client_cores)
         combine = self.xor_time(round_bytes * num_servers, self.client_cores)
         return streams + combine + self.sign_seconds
 
-    def server_round_compute(self, round_bytes: int, num_clients: int) -> float:
-        """Server work per round: N streams + N XORs + commit hash + sign."""
+    def server_round_compute(
+        self, round_bytes: int, num_clients: int, attached_clients: int = 0
+    ) -> float:
+        """Server work per round: N streams + N XORs + commit hash + sign.
+
+        ``attached_clients`` adds the signature checks on directly-received
+        client envelopes (one batched multi-exponentiation, or one scalar
+        verification each under ``batched_signatures=False``).
+        """
         streams = self.prng_time(round_bytes * num_clients, self.server_cores)
         combine = self.xor_time(round_bytes * num_clients, self.server_cores)
-        return streams + combine + self.hash_time(round_bytes) + self.sign_seconds
+        envelope_checks = self.verify_many_seconds(attached_clients)
+        return (
+            streams
+            + combine
+            + self.hash_time(round_bytes)
+            + self.sign_seconds
+            + envelope_checks
+        )
 
     def client_output_verify(self, round_bytes: int, num_servers: int) -> float:
-        """Client work on receipt: M signature verifications + one parse."""
-        return num_servers * self.verify_seconds + self.hash_time(round_bytes)
+        """Client work on receipt: M signature verifications + one parse.
+
+        The M output signatures cover one digest and arrive together, so
+        they batch into one multi-exponentiation.
+        """
+        return self.verify_many_seconds(num_servers) + self.hash_time(round_bytes)
 
     # -- shuffle cost model (Figure 9) ------------------------------------
 
@@ -137,9 +186,10 @@ class CostModel:
 
     def blame_evaluation_time(self, num_clients: int, num_servers: int) -> float:
         """Tracing one witness bit: per-pair PRNG bit recomputation plus
-        signature checks over the archived evidence."""
+        signature checks over the archived evidence (batched — all N
+        archived client envelopes re-verify in one multi-exponentiation)."""
         per_pair = 20e-6  # one short PRNG invocation per (client, server)
-        sig_checks = num_clients * self.verify_seconds
+        sig_checks = self.verify_many_seconds(num_clients)
         return num_clients * num_servers * per_pair + sig_checks
 
     def scaled(self, factor: float) -> "CostModel":

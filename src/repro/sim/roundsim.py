@@ -156,16 +156,29 @@ def simulate_round(config: RoundSimConfig, rng: random.Random) -> RoundTiming:
     included = outcome.included_count
 
     # --- phase 2: server pipeline (analytic) ----------------------------
+    attached = max(1, included // max(1, m))
+    # Every peer-exchange phase delivers M-1 signed envelopes, checked in
+    # one batched multi-exponentiation (or one-by-one when the model's
+    # batched_signatures flag is off — the pre-batching protocol).
+    peer_checks = cost.verify_many_seconds(m - 1)
     # Inventory: client-id lists, ~4 bytes per directly-attached client.
-    inventory_bytes = 4 * max(1, included // max(1, m))
-    t_inventory = _server_exchange_time(config, inventory_bytes)
-    # Stream generation + combining for every included client.
-    t_compute = cost.server_round_compute(round_bytes, included)
+    inventory_bytes = 4 * attached
+    t_inventory = _server_exchange_time(config, inventory_bytes) + peer_checks
+    # Stream generation + combining for every included client, plus the
+    # batched signature check over the directly-received envelopes.
+    t_compute = cost.server_round_compute(
+        round_bytes, included, attached_clients=attached
+    )
     # Commit exchange (32-byte digests), reveal exchange (full blobs).
-    t_commit = _server_exchange_time(config, 32)
-    t_reveal = _server_exchange_time(config, round_bytes)
-    # Certification: one signature + signature exchange.
-    t_certify = cost.sign_seconds + _server_exchange_time(config, 64)
+    t_commit = _server_exchange_time(config, 32) + peer_checks
+    t_reveal = _server_exchange_time(config, round_bytes) + peer_checks
+    # Certification: one signature + signature exchange + checking all M
+    # output signatures (one digest, one batch).
+    t_certify = (
+        cost.sign_seconds
+        + _server_exchange_time(config, 64)
+        + cost.verify_many_seconds(m)
+    )
     # Output fan-out to each server's attached clients + client verify
     # (verification contends with colocated client processes too).
     t_output = topo.server_to_clients_time(

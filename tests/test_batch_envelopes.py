@@ -1,0 +1,228 @@
+"""Adversarial tests for batched envelope signature verification.
+
+The contract under test: batching is a pure performance optimization —
+accept/reject decisions and blame are bit-identical to verifying every
+envelope one at a time, for forged signatures, replays, and degenerate
+batch sizes alike.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from tests.helpers import fresh_session
+from repro.crypto import schnorr
+from repro.crypto.groups import testing_group as toy_group
+from repro.crypto.keys import PrivateKey
+from repro.errors import InvalidSignature, ShuffleError
+from repro.net.message import (
+    CLIENT_CIPHERTEXT,
+    batch_verify_envelopes,
+    make_envelope,
+    require_envelopes_valid,
+)
+
+
+def _envelope_batch(count, seed=5):
+    """``count`` well-signed client envelopes under distinct keys."""
+    group = toy_group()
+    rng = random.Random(seed)
+    keys = [PrivateKey.generate(group, rng) for _ in range(count)]
+    items = []
+    for i, key in enumerate(keys):
+        envelope = make_envelope(
+            key, CLIENT_CIPHERTEXT, f"client-{i}", b"gid", 4, b"body-%d" % i
+        )
+        items.append((envelope, key.public))
+    return items
+
+
+class TestBatchVerifyEnvelopes:
+    def test_clean_batch_accepts(self):
+        assert batch_verify_envelopes(_envelope_batch(12)) == ()
+
+    def test_one_forgery_in_32_bisected_to_exact_sender(self):
+        items = _envelope_batch(32)
+        envelope, key = items[17]
+        items[17] = (dataclasses.replace(envelope, body=b"forged"), key)
+        assert batch_verify_envelopes(items) == (17,)
+
+    def test_multiple_forgeries_all_named(self):
+        items = _envelope_batch(32)
+        for i in (0, 13, 31):
+            envelope, key = items[i]
+            items[i] = (dataclasses.replace(envelope, body=b"forged"), key)
+        assert batch_verify_envelopes(items) == (0, 13, 31)
+
+    def test_blame_matches_scalar_verification_exactly(self):
+        rng = random.Random(99)
+        for _ in range(5):
+            items = _envelope_batch(16, seed=rng.randrange(1 << 30))
+            bad = set(rng.sample(range(16), rng.randrange(0, 5)))
+            for i in bad:
+                envelope, key = items[i]
+                items[i] = (
+                    dataclasses.replace(envelope, round_number=9),
+                    key,
+                )
+            scalar = tuple(
+                i
+                for i, (envelope, key) in enumerate(items)
+                if not schnorr.verify(
+                    key, envelope.signed_payload(), envelope.signature
+                )
+            )
+            assert batch_verify_envelopes(items) == scalar == tuple(sorted(bad))
+
+    def test_empty_batch(self):
+        assert batch_verify_envelopes([]) == ()
+
+    def test_single_envelope_degrades_to_scalar(self):
+        items = _envelope_batch(1)
+        assert batch_verify_envelopes(items) == ()
+        envelope, key = items[0]
+        assert batch_verify_envelopes(
+            [(dataclasses.replace(envelope, sender="client-9"), key)]
+        ) == (0,)
+
+    def test_require_envelopes_valid_names_sender(self):
+        items = _envelope_batch(8)
+        envelope, key = items[3]
+        items[3] = (dataclasses.replace(envelope, body=b"evil"), key)
+        with pytest.raises(InvalidSignature, match="client-3"):
+            require_envelopes_valid(items)
+
+
+class TestServerBatchAccept:
+    def test_forged_submission_rejected_others_kept(self):
+        session = fresh_session(seed=41)
+        server = session.servers[0]
+        server.open_round(0)
+        envelopes = [
+            session.clients[i].produce_ciphertext(0)
+            for i in range(session.definition.num_clients)
+        ]
+        envelopes[2] = dataclasses.replace(
+            envelopes[2], body=bytes(len(envelopes[2].body))
+        )
+        verdicts = server.accept_ciphertexts(envelopes)
+        assert verdicts == [True, True, False, True, True]
+        assert sorted(server.state.received) == [0, 1, 3, 4]
+        server.abandon_round()
+
+    def test_replayed_stale_round_envelope_rejected(self):
+        # A validly signed envelope from round 0 replayed into round 1 is
+        # screened out by its round number before any signature work.
+        session = fresh_session(seed=42)
+        session.run_round()
+        stale = session.clients[0].produce_ciphertext(0)  # signs round 0
+        server = session.servers[0]
+        server.open_round(1)
+        fresh = session.clients[1].produce_ciphertext(1)
+        assert server.accept_ciphertexts([stale, fresh]) == [False, True]
+        assert sorted(server.state.received) == [1]
+        server.abandon_round()
+
+    def test_empty_batch_is_noop(self):
+        session = fresh_session(seed=43)
+        server = session.servers[0]
+        server.open_round(0)
+        assert server.accept_ciphertexts([]) == []
+        assert server.state.received == {}
+        server.abandon_round()
+
+    def test_forged_peer_commitment_names_server(self):
+        session = fresh_session(seed=44)
+        for server in session.servers:
+            server.open_round(0)
+        for i, client in enumerate(session.clients):
+            session.servers[i % 3].accept_ciphertext(client.produce_ciphertext(0))
+        inventories = [s.make_inventory() for s in session.servers]
+        for s in session.servers:
+            s.receive_inventories(inventories)
+        commits = [s.compute_ciphertext() for s in session.servers]
+        commits[1] = dataclasses.replace(commits[1], body=b"\x00" * 32)
+        with pytest.raises(InvalidSignature, match="server-1"):
+            session.servers[0].receive_commitments(commits)
+
+
+class TestShuffleSubmissionBatch:
+    @staticmethod
+    def _shuffle_setup(session, purpose):
+        from repro.core.keyshuffle import make_session_key, verify_session_keys
+
+        session_keys = []
+        for j, server in enumerate(session.servers):
+            _, sk = make_session_key(server.key, j, purpose)
+            session_keys.append(sk)
+        return verify_session_keys(session.definition, session_keys, purpose)
+
+    def test_forged_shuffle_submission_named(self):
+        from repro.core.keyshuffle import open_shuffle_submissions, shuffle_run_id
+
+        session = fresh_session(seed=45)
+        purpose = b"dissent.key-shuffle|" + session.definition.group_id()
+        publics = self._shuffle_setup(session, purpose)
+        run_id = shuffle_run_id(purpose, publics)
+        envelopes = [
+            client.signed_scheduling_submission(publics, purpose)
+            for client in session.clients
+        ]
+        sane = open_shuffle_submissions(session.definition, envelopes, run_id)
+        assert len(sane) == session.definition.num_clients
+        envelopes[4] = dataclasses.replace(envelopes[4], body=envelopes[3].body)
+        with pytest.raises(ShuffleError, match="client-4"):
+            open_shuffle_submissions(session.definition, envelopes, run_id)
+
+    def test_malformed_body_attributed_to_signer(self):
+        # A validly signed but undecodable body must raise a ShuffleError
+        # naming the sender, not escape as an unattributed crypto error.
+        from repro.core.keyshuffle import (
+            SCHEDULING_ROUND,
+            SHUFFLE_SUBMISSION,
+            open_shuffle_submissions,
+            shuffle_run_id,
+        )
+        from repro.util.serialization import pack_fields
+
+        session = fresh_session(seed=47)
+        purpose = b"dissent.key-shuffle|" + session.definition.group_id()
+        publics = self._shuffle_setup(session, purpose)
+        run_id = shuffle_run_id(purpose, publics)
+        envelopes = [
+            client.signed_scheduling_submission(publics, purpose)
+            for client in session.clients
+        ]
+        bad_client = session.clients[2]
+        envelopes[2] = make_envelope(
+            bad_client.key,
+            SHUFFLE_SUBMISSION,
+            bad_client.name,
+            bad_client.group_id,
+            SCHEDULING_ROUND,
+            pack_fields(run_id, pack_fields(b"\x00" * 10)),
+        )
+        with pytest.raises(ShuffleError, match="client-2"):
+            open_shuffle_submissions(session.definition, envelopes, run_id)
+
+    def test_submission_from_previous_run_rejected(self):
+        # The group id and purpose repeat across sessions of one group;
+        # the ephemeral mix keys do not.  A validly signed submission
+        # captured in run A must not open in run B.
+        from repro.core.keyshuffle import open_shuffle_submissions, shuffle_run_id
+
+        session = fresh_session(seed=46)
+        purpose = b"dissent.key-shuffle|" + session.definition.group_id()
+        old_publics = self._shuffle_setup(session, purpose)
+        stale = session.clients[0].signed_scheduling_submission(
+            old_publics, purpose
+        )
+        new_publics = self._shuffle_setup(session, purpose)
+        new_run = shuffle_run_id(purpose, new_publics)
+        envelopes = [stale] + [
+            client.signed_scheduling_submission(new_publics, purpose)
+            for client in session.clients[1:]
+        ]
+        with pytest.raises(ShuffleError, match="different run"):
+            open_shuffle_submissions(session.definition, envelopes, new_run)

@@ -44,9 +44,32 @@ class TestFig7:
         assert 0.3 < total < 1.0
 
     def test_microblog_exceeds_second_past_1000(self, result):
+        # The paper's prototype verified envelope signatures one at a
+        # time; under that cost model rounds exceed one second at 1000
+        # clients.  Batched verification (the repo's default) shaves the
+        # signature term, so the batched curve sits below the unbatched
+        # one while still blowing past a second at 5120.
+        from dataclasses import replace
+
+        from repro.sim.costmodel import DEFAULT_COST_MODEL
+
         idx = result.x_values.index(1000)
         total = result.series["1%-server(Det)"][idx] + result.series["1%-client(Det)"][idx]
-        assert total > 1.0
+        paper = fig7.run(
+            rounds_per_point=3,
+            cost=replace(DEFAULT_COST_MODEL, batched_signatures=False),
+        )
+        paper_total = (
+            paper.series["1%-server(Det)"][idx] + paper.series["1%-client(Det)"][idx]
+        )
+        assert paper_total > 1.0
+        assert total < paper_total  # the batching win shows up in Fig 7
+        last = result.x_values.index(5120)
+        assert (
+            result.series["1%-server(Det)"][last]
+            + result.series["1%-client(Det)"][last]
+            > 1.0
+        )
 
     def test_bandwidth_dominates_128k(self, result):
         # 128K rounds are slower than microblog rounds at every scale.

@@ -217,3 +217,19 @@ class TestMultiexp:
                 for _ in range(rng.randrange(1, 9))
             ]
             assert tiny.multiexp(pairs) == self._naive(tiny, pairs)
+
+
+class TestHotBaseBudget:
+    def test_within_budget_passes_through(self):
+        bases = tuple(range(2, 2 + G.HOT_BASE_BUDGET))
+        assert G.hot_bases_within_budget(bases) == bases
+
+    def test_over_budget_returns_empty(self):
+        # Over the table-cache budget, marking bases hot would thrash the
+        # LRU (build-and-evict per use); the guard falls back to the
+        # transient multiexp path.
+        bases = range(2, 3 + G.HOT_BASE_BUDGET)
+        assert G.hot_bases_within_budget(bases) == ()
+
+    def test_accepts_generators(self):
+        assert G.hot_bases_within_budget(iter([5, 7])) == (5, 7)

@@ -1,9 +1,21 @@
 """Unit tests for the keyed PRNG streams (the DC-net coins)."""
 
+import hashlib
+
 import pytest
 
 from repro.crypto import prng
 from repro.util.bytesops import get_bit
+
+
+def _reference_pair_stream(secret: bytes, round_number: int, length: int) -> bytes:
+    """The pre-cache derivation: absorb everything into a fresh XOF."""
+    xof = hashlib.shake_256()
+    xof.update(b"dissent.pair-stream.v1")
+    xof.update(len(secret).to_bytes(4, "big"))
+    xof.update(secret)
+    xof.update(round_number.to_bytes(8, "big"))
+    return xof.digest(length)
 
 
 class TestPairStream:
@@ -37,6 +49,35 @@ class TestPairStream:
         ones = sum(bin(byte).count("1") for byte in stream)
         assert 0.45 < ones / (8 * 4096) < 0.55
 
+    def test_cached_state_matches_fresh_absorption(self):
+        # The pre-absorbed per-secret SHAKE state (copied per round) must
+        # reproduce the original absorb-everything derivation exactly.
+        secrets = [b"\x00" * 32, b"k" * 32, b"", b"short", b"x" * 131]
+        for secret in secrets:
+            for round_number in (0, 1, 7, 2**40):
+                for length in (0, 1, 31, 257):
+                    assert prng.pair_stream(
+                        secret, round_number, length
+                    ) == _reference_pair_stream(secret, round_number, length)
+
+    def test_cache_eviction_keeps_streams_correct(self):
+        # Blow through the LRU bound; evicted secrets must re-derive the
+        # same bytes when they come back.
+        probe = b"probe-secret" * 2
+        before = prng.pair_stream(probe, 3, 64)
+        for i in range(prng._PAIR_STATE_CACHE_MAX + 8):
+            prng.pair_stream(b"filler-%d" % i, 0, 1)
+        assert probe not in prng._pair_states
+        assert prng.pair_stream(probe, 3, 64) == before
+
+    def test_interleaved_rounds_do_not_corrupt_state(self):
+        # copy() must leave the cached base state untouched.
+        s = b"\x42" * 32
+        a1 = prng.pair_stream(s, 1, 33)
+        a2 = prng.pair_stream(s, 2, 33)
+        assert prng.pair_stream(s, 1, 33) == a1
+        assert prng.pair_stream(s, 2, 33) == a2
+
 
 class TestPairStreamBit:
     def test_matches_full_stream(self):
@@ -61,3 +102,13 @@ class TestSeededStream:
 
     def test_length_exact(self):
         assert len(prng.seeded_stream(b"s", 17)) == 17
+
+
+class TestCacheHygiene:
+    def test_clear_pair_state_cache_drops_secrets(self):
+        s = b"\x5a" * 32
+        before = prng.pair_stream(s, 1, 32)
+        assert s in prng._pair_states
+        prng.clear_pair_state_cache()
+        assert not prng._pair_states
+        assert prng.pair_stream(s, 1, 32) == before  # re-derives identically

@@ -45,12 +45,31 @@ class TestSchnorrSignatures:
         sig = schnorr.sign(keypair, b"m")
         assert not schnorr.verify(other.public, b"m", sig)
 
-    def test_signatures_randomized(self, keypair):
-        assert schnorr.sign(keypair, b"m") != schnorr.sign(keypair, b"m")
+    def test_signatures_deterministic(self, keypair):
+        # RFC 6979-style nonces: same key + message => same signature.
+        assert schnorr.sign(keypair, b"m") == schnorr.sign(keypair, b"m")
+
+    def test_nonce_commitment_never_repeats_across_messages(self, keypair):
+        # The footgun deterministic nonces prevent: a repeated t with two
+        # distinct challenges leaks the private key.  Distinct messages
+        # must always get distinct commitments.
+        commitments = [
+            schnorr.sign(keypair, b"message-%d" % i).t for i in range(64)
+        ]
+        assert len(set(commitments)) == len(commitments)
+
+    def test_distinct_keys_distinct_nonces(self, group, keypair, rng):
+        other = PrivateKey.generate(group, rng)
+        assert schnorr.sign(keypair, b"m").t != schnorr.sign(other, b"m").t
 
     def test_out_of_range_components_fail(self, group, keypair):
         sig = schnorr.sign(keypair, b"m")
-        bad = schnorr.Signature(sig.c, group.q)
+        bad = schnorr.Signature(sig.t, group.q)
+        assert not schnorr.verify(keypair.public, b"m", bad)
+
+    def test_non_element_commitment_fails(self, group, keypair):
+        sig = schnorr.sign(keypair, b"m")
+        bad = schnorr.Signature(group.p - 1, sig.s)  # QNR: not in subgroup
         assert not schnorr.verify(keypair.public, b"m", bad)
 
     def test_bytes_roundtrip(self, group, keypair):
@@ -70,6 +89,62 @@ class TestSchnorrSignatures:
     def test_empty_message(self, keypair):
         sig = schnorr.sign(keypair, b"")
         assert schnorr.verify(keypair.public, b"", sig)
+
+
+class TestSchnorrBatchVerify:
+    def _items(self, group, rng, count):
+        keys = [PrivateKey.generate(group, rng) for _ in range(count)]
+        return [
+            (key.public, b"msg-%d" % i, schnorr.sign(key, b"msg-%d" % i))
+            for i, key in enumerate(keys)
+        ]
+
+    def test_all_valid_accepts(self, group, rng):
+        assert schnorr.batch_verify(self._items(group, rng, 8))
+
+    def test_empty_batch_accepts(self):
+        assert schnorr.batch_verify([])
+        assert schnorr.find_invalid([]) == ()
+
+    def test_single_item_degrades_to_scalar(self, group, rng):
+        items = self._items(group, rng, 1)
+        assert schnorr.batch_verify(items)
+        key, message, sig = items[0]
+        bad = [(key, b"other", sig)]
+        assert not schnorr.batch_verify(bad)
+        assert schnorr.find_invalid(bad) == (0,)
+
+    def test_forged_signature_rejected_and_isolated(self, group, rng):
+        items = self._items(group, rng, 16)
+        key, _, sig = items[5]
+        items[5] = (key, b"forged message", sig)
+        assert not schnorr.batch_verify(items)
+        assert schnorr.find_invalid(items, known_failed=True) == (5,)
+
+    def test_multiple_culprits_all_named(self, group, rng):
+        items = self._items(group, rng, 12)
+        for i in (2, 9):
+            key, _, sig = items[i]
+            items[i] = (key, b"tampered", sig)
+        assert schnorr.find_invalid(items) == (2, 9)
+
+    def test_verdicts_match_scalar_path(self, group, rng):
+        items = self._items(group, rng, 10)
+        key, _, sig = items[3]
+        items[3] = (key, b"evil", sig)
+        scalar = tuple(
+            i for i, item in enumerate(items) if not schnorr.verify(*item)
+        )
+        assert schnorr.find_invalid(items) == scalar
+
+    def test_hot_bases_do_not_change_verdicts(self, group, rng):
+        items = self._items(group, rng, 6)
+        hot = [key.y for key, _, _ in items]
+        assert schnorr.batch_verify(items, hot_bases=hot)
+        key, _, sig = items[0]
+        items[0] = (key, b"x", sig)
+        assert not schnorr.batch_verify(items, hot_bases=hot)
+        assert schnorr.find_invalid(items, hot_bases=hot) == (0,)
 
 
 class TestDiffieHellman:

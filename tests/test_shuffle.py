@@ -37,7 +37,7 @@ class TestKeyShuffleCascade:
             for _ in range(4)
         ]
         transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"ctx", rng)
-        assert shuffle.verify_transcript(publics, transcript, b"ctx")
+        assert shuffle.verify_transcript(publics, transcript, b"ctx", SOUNDNESS)
 
     def test_wrong_context_fails(self, cascade_env):
         group, rng, servers, publics = cascade_env
@@ -46,7 +46,7 @@ class TestKeyShuffleCascade:
             for _ in range(3)
         ]
         transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"ctx", rng)
-        assert not shuffle.verify_transcript(publics, transcript, b"other")
+        assert not shuffle.verify_transcript(publics, transcript, b"other", SOUNDNESS)
 
     def test_single_server_cascade(self, cascade_env):
         group, rng, servers, _ = cascade_env
@@ -55,7 +55,7 @@ class TestKeyShuffleCascade:
         elements = [group.random_element(rng) for _ in range(3)]
         inputs = [shuffle.prepare_element_input(publics, e, rng) for e in elements]
         transcript = shuffle.run_cascade(solo, inputs, SOUNDNESS, b"s", rng)
-        assert shuffle.verify_transcript(publics, transcript, b"s")
+        assert shuffle.verify_transcript(publics, transcript, b"s", SOUNDNESS)
         assert sorted(transcript.outputs(group)) == sorted(elements)
 
     def test_single_input(self, cascade_env):
@@ -98,7 +98,7 @@ class TestTamperDetection:
         bad = dataclasses.replace(
             transcript, steps=transcript.steps[:-1] + (bad_step,)
         )
-        assert not shuffle.verify_transcript(publics, bad, b"tamper")
+        assert not shuffle.verify_transcript(publics, bad, b"tamper", SOUNDNESS)
 
     def test_replaced_ciphertext_detected(self, cascade_env):
         group, rng, servers, publics = cascade_env
@@ -110,7 +110,7 @@ class TestTamperDetection:
         permuted = (fake,) + first.permuted[1:]
         bad_step = dataclasses.replace(first, permuted=permuted)
         bad = dataclasses.replace(transcript, steps=(bad_step,) + transcript.steps[1:])
-        assert not shuffle.verify_transcript(publics, bad, b"tamper")
+        assert not shuffle.verify_transcript(publics, bad, b"tamper", SOUNDNESS)
 
     def test_wrong_step_count_detected(self, cascade_env):
         _, _, _, publics = cascade_env
@@ -118,7 +118,7 @@ class TestTamperDetection:
         import dataclasses
 
         bad = dataclasses.replace(transcript, steps=transcript.steps[:-1])
-        assert not shuffle.verify_transcript(publics, bad, b"tamper")
+        assert not shuffle.verify_transcript(publics, bad, b"tamper", SOUNDNESS)
 
 
 class TestMessageShuffle:
@@ -130,7 +130,7 @@ class TestMessageShuffle:
             shuffle.prepare_message_input(publics, m, width, rng) for m in messages
         ]
         transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"msg", rng)
-        assert shuffle.verify_transcript(publics, transcript, b"msg")
+        assert shuffle.verify_transcript(publics, transcript, b"msg", SOUNDNESS)
         outputs = [
             shuffle.decode_message_output(group, vector)
             for vector in transcript.output_vectors(group)
@@ -168,3 +168,39 @@ class TestMessageShuffle:
             transcript = shuffle.run_cascade(servers, inputs, 2, b"p", trial_rng)
             positions.add(transcript.outputs(group).index(elements[0]))
         assert len(positions) > 1
+
+
+class TestSoundnessRequirement:
+    def test_stripped_bridges_rejected(self, cascade_env):
+        # A prover must not choose its own cheating probability: a step
+        # whose cut-and-choose argument was emptied out (zero bridges,
+        # zero reveals) has to fail verification even though every
+        # remaining check passes vacuously.
+        import dataclasses
+
+        group, rng, servers, publics = cascade_env
+        inputs = [
+            shuffle.prepare_element_input(publics, group.random_element(rng), rng)
+            for _ in range(4)
+        ]
+        transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS, b"z", rng)
+        assert shuffle.verify_transcript(publics, transcript, b"z", SOUNDNESS)
+        gutted_step = dataclasses.replace(
+            transcript.steps[0],
+            argument=shuffle.ShuffleArgument(bridges=(), reveals=()),
+        )
+        gutted = dataclasses.replace(
+            transcript, steps=(gutted_step,) + transcript.steps[1:]
+        )
+        assert not shuffle.verify_transcript(publics, gutted, b"z", SOUNDNESS)
+
+    def test_fewer_bridges_than_required_rejected(self, cascade_env):
+        group, rng, servers, publics = cascade_env
+        inputs = [
+            shuffle.prepare_element_input(publics, group.random_element(rng), rng)
+            for _ in range(3)
+        ]
+        transcript = shuffle.run_cascade(servers, inputs, SOUNDNESS - 2, b"w", rng)
+        assert shuffle.verify_transcript(publics, transcript, b"w", SOUNDNESS - 2)
+        # A verifier demanding more soundness than the prover supplied says no.
+        assert not shuffle.verify_transcript(publics, transcript, b"w", SOUNDNESS)
