@@ -24,13 +24,20 @@ NUM_SERVERS = 24
 def run(
     client_counts: tuple[int, ...] = CLIENT_COUNTS,
     message_bytes: int = 128,
+    pipeline_depth: int = 1,
     seed: int = 9,
 ) -> FigureResult:
-    """Model all four stages across the paper's client counts."""
+    """Model all four stages across the paper's client counts.
+
+    ``pipeline_depth > 1`` reports the DC-net stage at its pipelined
+    steady-state period (W rounds in flight) — the key/blame shuffle
+    stages are one-shot cascades and do not pipeline across rounds.
+    """
     result = FigureResult(
         figure="Figure 9",
         title=f"whole-protocol stage times (s), {NUM_SERVERS} servers, "
-        f"{message_bytes}B messages",
+        f"{message_bytes}B messages"
+        + (f", dcnet pipelined W={pipeline_depth}" if pipeline_depth > 1 else ""),
         x_label="clients",
         x_values=list(client_counts),
     )
@@ -42,7 +49,11 @@ def run(
     }
     for n in client_counts:
         times = simulate_full_protocol(
-            n, NUM_SERVERS, message_bytes=message_bytes, seed=seed
+            n,
+            NUM_SERVERS,
+            message_bytes=message_bytes,
+            pipeline_depth=pipeline_depth,
+            seed=seed,
         )
         stages["blame-shuffle"].append(times.blame_shuffle)
         stages["key-shuffle"].append(times.key_shuffle)

@@ -14,12 +14,16 @@ Public surface:
 * :mod:`~repro.core.keyshuffle` — scheduling via verifiable shuffles (§3.10).
 * :mod:`~repro.core.accusation` — the blame protocol (§3.9).
 * :mod:`~repro.core.adversary` — byzantine node models for tests/demos.
+* :class:`~repro.core.pipeline.PipelinedSession` — W rounds in flight with
+  bit-identical outputs; drains to a barrier on failure/blame/schedule/
+  membership events.
 """
 
 from repro.core.config import GroupDefinition, Policy, make_group_definition
 from repro.core.client import DissentClient
 from repro.core.server import DissentServer
 from repro.core.session import DissentSession, build_keys, build_session
+from repro.core.pipeline import PhaseLatency, PipelinedSession
 from repro.core.rounds import QuietOutcome, RoundOutput, RoundRecord, RoundStatus
 from repro.core.policy import (
     FractionMultiplierPolicy,
@@ -38,6 +42,8 @@ __all__ = [
     "DissentSession",
     "build_keys",
     "build_session",
+    "PhaseLatency",
+    "PipelinedSession",
     "QuietOutcome",
     "RoundOutput",
     "RoundRecord",

@@ -137,6 +137,52 @@ class DissentClient:
         self.pending_accusation: Accusation | None = None
         self._accusation_submitted = False
         self.disruption_detected = False
+        #: Optional :class:`repro.crypto.prng.PadPrefetcher`; when set,
+        #: :meth:`produce_ciphertext` reads the M pair pads from its cache
+        #: instead of squeezing SHAKE on the critical path.
+        self.prefetcher = None
+
+    def snapshot_state(self) -> dict:
+        """Capture the mutable round state (pipeline checkpointing).
+
+        The pipelined engine rolls a client back to a pre-build checkpoint
+        when a drain invalidates speculative rounds.  Containers are
+        copied shallowly — their elements (bytes, tuples,
+        :class:`_SentRecord` instances) are never mutated in place, only
+        replaced — and the RNG state is captured so a replayed build draws
+        the exact values the discarded speculative build consumed.
+        Long-lived identity (keys, slot, definition) and the shared
+        prefetcher are deliberately excluded.
+        """
+        return {
+            "scheduler": self.scheduler.clone(),
+            "outbox": tuple(self.outbox),
+            # ``received`` is append-only and a rollback only ever rewinds,
+            # so the checkpoint is its length — copying the whole history
+            # would make per-round snapshots quadratic over session life.
+            "received_len": len(self.received),
+            "last_participation": self.last_participation,
+            "_request_attempted": self._request_attempted,
+            "_sent": dict(self._sent),
+            "pending_accusation": self.pending_accusation,
+            "_accusation_submitted": self._accusation_submitted,
+            "disruption_detected": self.disruption_detected,
+            "rng_state": self.rng.getstate(),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Adopt a snapshot taken by :meth:`snapshot_state` (consumed:
+        a snapshot must not be restored twice)."""
+        self.scheduler = snapshot["scheduler"]
+        self.outbox = deque(snapshot["outbox"])
+        del self.received[snapshot["received_len"]:]
+        self.last_participation = snapshot["last_participation"]
+        self._request_attempted = snapshot["_request_attempted"]
+        self._sent = snapshot["_sent"]
+        self.pending_accusation = snapshot["pending_accusation"]
+        self._accusation_submitted = snapshot["_accusation_submitted"]
+        self.disruption_detected = snapshot["disruption_detected"]
+        self.rng.setstate(snapshot["rng_state"])
 
     # ------------------------------------------------------------------
     # Scheduling phase
@@ -300,8 +346,13 @@ class DissentClient:
     def produce_ciphertext(self, round_number: int) -> SignedEnvelope:
         """Algorithm 1 step 2: mask our cleartext with all M pair streams."""
         cleartext = self.build_cleartext(round_number)
+        fetch = (
+            self.prefetcher.pair_stream
+            if self.prefetcher is not None
+            else prng.pair_stream
+        )
         streams = (
-            prng.pair_stream(secret, round_number, len(cleartext))
+            fetch(secret, round_number, len(cleartext))
             for secret in self.secrets
         )
         ciphertext = xor_many(
@@ -359,6 +410,31 @@ class DissentClient:
                     (output.round_number, content.slot_index, message)
                 )
         return contents
+
+    def speculate_delivery(self, round_number: int) -> _SentRecord | None:
+        """Optimistically confirm an in-flight round's own-slot delivery.
+
+        The pipelined engine builds round ``r+1`` before round ``r``'s
+        output exists, so it applies the *confirmed-delivery* branch of
+        :meth:`_check_own_slot` ahead of time: pop the sent record, drop
+        the confirmed messages from the queue, clear a submitted
+        accusation.  The driver keeps the returned record and validates it
+        against the real output when the round completes; on a mismatch it
+        drains, restores a pre-build snapshot, and replays the lockstep
+        path — so observable behaviour is bit-identical either way.
+        Once speculated, a later :meth:`handle_output` for the same round
+        finds no sent record and skips confirmation, exactly as intended.
+        """
+        record = self._sent.pop(round_number, None)
+        if record is None:
+            return None
+        for message in record.payload_messages:
+            if self.outbox and self.outbox[0] == message:
+                self.outbox.popleft()
+        if self._accusation_submitted:
+            self.pending_accusation = None
+            self._accusation_submitted = False
+        return record
 
     def handle_round_failure(self, round_number: int, participation: int) -> None:
         """A round was abandoned (§3.7 hard timeout): resend, fresh basis."""

@@ -39,6 +39,19 @@ _GROUP_NAMES = {
 DCNET_MODES = frozenset({"xor", "verifiable", "hybrid"})
 
 
+def upstream_server(client_index: int, num_servers: int) -> int:
+    """The client → upstream-server assignment rule (round-robin).
+
+    Kept as a module-level function so layers without a
+    :class:`GroupDefinition` in hand (the timing simulator) share the
+    exact topology the protocol uses; nodes with a definition should call
+    :meth:`GroupDefinition.upstream_server`.
+    """
+    if num_servers < 1:
+        raise ConfigError("need at least one server")
+    return client_index % num_servers
+
+
 @dataclass(frozen=True)
 class Policy:
     """Tunable protocol constants, fixed at group creation time.
@@ -178,6 +191,20 @@ class GroupDefinition:
     @property
     def num_clients(self) -> int:
         return len(self.client_keys)
+
+    def upstream_server(self, client_index: int) -> int:
+        """Which server a client submits its ciphertexts to.
+
+        The single source of truth for the client → upstream-server
+        topology: the real session driver, the pipelined engine, hybrid
+        pad commitments/replays, and the timing simulator all route
+        through here (or :func:`upstream_server` where no definition
+        exists), so an alternative assignment changes every layer at once
+        instead of skewing them silently.
+        """
+        if not 0 <= client_index < self.num_clients:
+            raise ConfigError(f"client index {client_index} out of range")
+        return upstream_server(client_index, self.num_servers)
 
     def server_name(self, index: int) -> str:
         if not 0 <= index < self.num_servers:

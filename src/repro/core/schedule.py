@@ -243,6 +243,20 @@ class Scheduler:
             self.num_slots, tuple(state.capacity for state in self._states)
         )
 
+    def clone(self) -> "Scheduler":
+        """Independent copy of the scheduling state (pipeline snapshots).
+
+        Much cheaper than ``copy.deepcopy``: the policy is frozen and the
+        per-slot states are two small ints each.
+        """
+        dup = Scheduler(self.num_slots, self.policy)
+        dup._states = [
+            _SlotState(state.capacity, state.idle_rounds)
+            for state in self._states
+        ]
+        dup.round_number = self.round_number
+        return dup
+
     def slot_capacity(self, slot: int) -> int:
         return self._states[slot].capacity
 

@@ -95,10 +95,16 @@ class RoundArchive:
 
 @dataclass
 class _RoundState:
-    """Mutable state of the in-progress round (internal)."""
+    """Mutable state of one in-progress round (internal).
+
+    The pipelined engine keeps several of these alive at once, so the
+    phase machine lives here rather than on the server: each in-flight
+    round advances through the six phases independently.
+    """
 
     round_number: int
     layout: RoundLayout
+    phase: Phase = Phase.COLLECTING
     received: dict[int, SignedEnvelope] = field(default_factory=dict)
     inventories: dict[int, tuple[int, ...]] = field(default_factory=dict)
     final_list: tuple[int, ...] = ()
@@ -137,11 +143,19 @@ class DissentServer:
         }
         self.scheduler = Scheduler(definition.num_clients, definition.policy)
         self.slot_keys: list[int] = []
-        self.phase = Phase.IDLE
         self.expelled: set[int] = set()
         self.archive: dict[int, RoundArchive] = {}
         self.last_participation: int | None = None
-        self._state: _RoundState | None = None
+        #: In-flight rounds in ascending round order (dict preserves
+        #: insertion order; rounds are always opened oldest-first).  The
+        #: lockstep driver keeps exactly one entry; the pipelined engine
+        #: holds up to ``max_rounds_in_flight``.
+        self._rounds: dict[int, _RoundState] = {}
+        self.max_rounds_in_flight = 1
+        #: Optional :class:`repro.crypto.prng.PadPrefetcher`; when set,
+        #: :meth:`compute_ciphertext` draws pair pads from its cache and
+        #: does zero SHAKE work on the critical path.
+        self.prefetcher = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -158,19 +172,69 @@ class DissentServer:
     # ------------------------------------------------------------------
 
     def open_round(self, round_number: int) -> None:
-        """Begin collecting ciphertexts for a new round."""
-        if self.phase not in (Phase.IDLE, Phase.COLLECTING):
-            raise ProtocolError(f"cannot open a round during phase {self.phase}")
-        self._state = _RoundState(
+        """Begin collecting ciphertexts for a new round.
+
+        Several rounds may collect concurrently (the pipelined engine
+        opens rounds ``r+1 .. r+W-1`` while round ``r`` is still in its
+        commit/reveal exchanges), bounded by :attr:`max_rounds_in_flight`.
+        Rounds must be opened in ascending order; each new round's layout
+        is the scheduler's current one — the pipeline driver validates
+        that assumption when earlier rounds complete and drains if the
+        schedule actually changed.
+        """
+        if round_number in self._rounds:
+            raise ProtocolError(f"round {round_number} is already open")
+        if self._rounds and round_number < max(self._rounds):
+            raise ProtocolError("rounds must be opened in ascending order")
+        if len(self._rounds) >= self.max_rounds_in_flight:
+            raise ProtocolError(
+                f"{len(self._rounds)} rounds already in flight "
+                f"(window is {self.max_rounds_in_flight})"
+            )
+        self._rounds[round_number] = _RoundState(
             round_number=round_number, layout=self.scheduler.current_layout()
         )
-        self.phase = Phase.COLLECTING
+
+    @property
+    def phase(self) -> Phase:
+        """Phase of the oldest in-flight round (IDLE when none)."""
+        if not self._rounds:
+            return Phase.IDLE
+        return next(iter(self._rounds.values())).phase
+
+    @property
+    def rounds_in_flight(self) -> tuple[int, ...]:
+        return tuple(self._rounds)
 
     @property
     def state(self) -> _RoundState:
-        if self._state is None:
-            raise ProtocolError("no round in progress")
-        return self._state
+        """The single in-flight round (lockstep callers and tests)."""
+        return self._resolve(None)
+
+    def _resolve(self, round_number: int | None) -> _RoundState:
+        """Look up a round's state; ``None`` means the oldest in flight.
+
+        Phase work always targets the oldest round (completion is
+        in-order), so lockstep callers never pass an explicit number.
+        """
+        if round_number is None:
+            if not self._rounds:
+                raise ProtocolError("no round in progress")
+            return next(iter(self._rounds.values()))
+        state = self._rounds.get(round_number)
+        if state is None:
+            raise ProtocolError(f"round {round_number} is not in progress")
+        return state
+
+    def discard_round(self, round_number: int) -> None:
+        """Drop a speculatively-opened round (pipeline drain).
+
+        Unlike :meth:`abandon_round` this publishes nothing: the round
+        never ran, so it must leave no trace in the participation basis.
+        """
+        if round_number not in self._rounds:
+            raise ProtocolError(f"round {round_number} is not in progress")
+        del self._rounds[round_number]
 
     def accept_ciphertext(self, envelope: SignedEnvelope) -> bool:
         """Validate and store one client submission; False if rejected."""
@@ -186,16 +250,21 @@ class DissentServer:
         clients' long-term keys as hot fixed-base tables.  A failing batch
         bisects to the exact forged envelopes, so the accept/reject vector
         is bit-identical to verifying each submission individually.
+
+        Envelopes route to the in-flight round they name: a mixed batch
+        carrying rounds ``r`` and ``r+1`` lands in both states, which is
+        how the pipelined engine verifies future rounds' submissions while
+        round ``r`` is still mid-exchange.  Envelopes for rounds that are
+        not currently collecting are rejected structurally.
         """
         verdicts = [False] * len(envelopes)
-        if self.phase is not Phase.COLLECTING:
-            return verdicts
-        state = self.state
-        candidates: list[tuple[int, int]] = []  # (envelope position, client)
+        # (envelope position, client, target round state)
+        candidates: list[tuple[int, int, _RoundState]] = []
         for position, envelope in enumerate(envelopes):
             if envelope.msg_type != CLIENT_CIPHERTEXT:
                 continue
-            if envelope.round_number != state.round_number:
+            state = self._rounds.get(envelope.round_number)
+            if state is None or state.phase is not Phase.COLLECTING:
                 continue
             if envelope.group_id != self.group_id:
                 continue
@@ -204,10 +273,10 @@ class DissentServer:
                 continue
             if len(envelope.body) != state.layout.total_bytes:
                 continue
-            candidates.append((position, client_index))
+            candidates.append((position, client_index, state))
         items = [
             (envelopes[position], self.definition.client_keys[client_index])
-            for position, client_index in candidates
+            for position, client_index, _ in candidates
         ]
         invalid = set(
             batch_verify_envelopes(
@@ -215,7 +284,7 @@ class DissentServer:
                 hot_bases=hot_bases_within_budget(key.y for _, key in items),
             )
         )
-        for slot, (position, client_index) in enumerate(candidates):
+        for slot, (position, client_index, state) in enumerate(candidates):
             if slot in invalid:
                 continue
             state.received[client_index] = envelopes[position]
@@ -237,12 +306,12 @@ class DissentServer:
     # Phase 2: inventory
     # ------------------------------------------------------------------
 
-    def make_inventory(self) -> SignedEnvelope:
+    def make_inventory(self, round_number: int | None = None) -> SignedEnvelope:
         """Broadcast the sorted list of clients heard from."""
-        if self.phase is not Phase.COLLECTING:
-            raise ProtocolError(f"inventory out of order in phase {self.phase}")
-        state = self.state
-        self.phase = Phase.INVENTORY
+        state = self._resolve(round_number)
+        if state.phase is not Phase.COLLECTING:
+            raise ProtocolError(f"inventory out of order in phase {state.phase}")
+        state.phase = Phase.INVENTORY
         client_list = sorted(state.received)
         body = pack_fields(*[int(i) for i in client_list]) if client_list else b""
         return make_envelope(
@@ -262,9 +331,9 @@ class DissentServer:
         server that heard from it; only that server XORs the client's
         ciphertext into its own.
         """
-        if self.phase is not Phase.INVENTORY:
-            raise ProtocolError(f"inventories out of order in phase {self.phase}")
-        state = self.state
+        state = self._resolve(None)
+        if state.phase is not Phase.INVENTORY:
+            raise ProtocolError(f"inventories out of order in phase {state.phase}")
         if len(envelopes) != self.definition.num_servers:
             raise ProtocolError("need exactly one inventory per server")
         indices = []
@@ -320,25 +389,35 @@ class DissentServer:
             ),
         )
 
-    def participation_ok(self) -> bool:
+    def participation_ok(self, round_number: int | None = None) -> bool:
         """§3.7 floor: |l| >= alpha * (previous round's participation)."""
         if self.last_participation is None:
             return True
         floor = self.policy.alpha * self.last_participation
-        return self.state.participation >= floor
+        return self._resolve(round_number).participation >= floor
 
     # ------------------------------------------------------------------
     # Phase 3: commitment
     # ------------------------------------------------------------------
 
-    def compute_ciphertext(self) -> SignedEnvelope:
-        """Form s_j and broadcast its commitment."""
-        if self.phase is not Phase.INVENTORY:
-            raise ProtocolError(f"commitment out of order in phase {self.phase}")
-        state = self.state
+    def compute_ciphertext(self, round_number: int | None = None) -> SignedEnvelope:
+        """Form s_j and broadcast its commitment.
+
+        With a :attr:`prefetcher` attached the N pair pads come out of its
+        cache (derived ahead of need by the pipeline driver), so this
+        phase does no SHAKE squeezing on the critical path.
+        """
+        state = self._resolve(round_number)
+        if state.phase is not Phase.INVENTORY:
+            raise ProtocolError(f"commitment out of order in phase {state.phase}")
         length = state.layout.total_bytes
+        fetch = (
+            self.prefetcher.pair_stream
+            if self.prefetcher is not None
+            else prng.pair_stream
+        )
         streams = [
-            prng.pair_stream(self.secrets[i], state.round_number, length)
+            fetch(self.secrets[i], state.round_number, length)
             for i in state.final_list
         ]
         own_blobs = [
@@ -347,7 +426,7 @@ class DissentServer:
             if state.assignment[i] == self.index and i in state.received
         ]
         state.own_ciphertext = xor_many([*streams, *own_blobs], length=length)
-        self.phase = Phase.COMMITTED
+        state.phase = Phase.COMMITTED
         return make_envelope(
             self.key,
             SERVER_COMMIT,
@@ -359,9 +438,9 @@ class DissentServer:
 
     def receive_commitments(self, envelopes: list[SignedEnvelope]) -> None:
         """Store every server's commitment (must precede any reveal)."""
-        if self.phase is not Phase.COMMITTED:
-            raise ProtocolError(f"commitments out of order in phase {self.phase}")
-        state = self.state
+        state = self._resolve(None)
+        if state.phase is not Phase.COMMITTED:
+            raise ProtocolError(f"commitments out of order in phase {state.phase}")
         if len(envelopes) != self.definition.num_servers:
             raise ProtocolError("need exactly one commitment per server")
         indices = []
@@ -379,14 +458,14 @@ class DissentServer:
     # Phase 4: combining
     # ------------------------------------------------------------------
 
-    def reveal_ciphertext(self) -> SignedEnvelope:
+    def reveal_ciphertext(self, round_number: int | None = None) -> SignedEnvelope:
         """Share s_j once every commitment is in hand."""
-        state = self.state
-        if self.phase is not Phase.COMMITTED:
-            raise ProtocolError(f"reveal out of order in phase {self.phase}")
+        state = self._resolve(round_number)
+        if state.phase is not Phase.COMMITTED:
+            raise ProtocolError(f"reveal out of order in phase {state.phase}")
         if len(state.commitments) != self.definition.num_servers:
             raise ProtocolError("cannot reveal before all commitments arrive")
-        self.phase = Phase.REVEALED
+        state.phase = Phase.REVEALED
         return make_envelope(
             self.key,
             SERVER_REVEAL,
@@ -398,9 +477,9 @@ class DissentServer:
 
     def receive_reveals(self, envelopes: list[SignedEnvelope]) -> bytes:
         """Verify reveals against commitments and combine the cleartext."""
-        if self.phase is not Phase.REVEALED:
-            raise ProtocolError(f"reveals out of order in phase {self.phase}")
-        state = self.state
+        state = self._resolve(None)
+        if state.phase is not Phase.REVEALED:
+            raise ProtocolError(f"reveals out of order in phase {state.phase}")
         if len(envelopes) != self.definition.num_servers:
             raise ProtocolError("need exactly one reveal per server")
         blobs: list[bytes] = [b""] * self.definition.num_servers
@@ -429,14 +508,14 @@ class DissentServer:
     # Phase 5/6: certification and output
     # ------------------------------------------------------------------
 
-    def sign_output(self) -> Signature:
+    def sign_output(self, round_number: int | None = None) -> Signature:
         """Certify the combined cleartext and participation count."""
-        state = self.state
-        if self.phase is not Phase.REVEALED:
-            raise ProtocolError(f"signing out of order in phase {self.phase}")
+        state = self._resolve(round_number)
+        if state.phase is not Phase.REVEALED:
+            raise ProtocolError(f"signing out of order in phase {state.phase}")
         if not state.cleartext and state.layout.total_bytes:
             raise ProtocolError("cannot sign before combining")
-        self.phase = Phase.CERTIFIED
+        state.phase = Phase.CERTIFIED
         digest = output_digest(
             self.group_id, state.round_number, state.cleartext, state.participation
         )
@@ -444,9 +523,9 @@ class DissentServer:
 
     def assemble_output(self, signatures: list[Signature]) -> RoundOutput:
         """Collect all server signatures into a certified round output."""
-        state = self.state
-        if self.phase is not Phase.CERTIFIED:
-            raise ProtocolError(f"assembly out of order in phase {self.phase}")
+        state = self._resolve(None)
+        if state.phase is not Phase.CERTIFIED:
+            raise ProtocolError(f"assembly out of order in phase {state.phase}")
         if len(signatures) != self.definition.num_servers:
             raise ProtocolError("need exactly one signature per server")
         digest = output_digest(
@@ -473,10 +552,19 @@ class DissentServer:
         )
 
     def finish_round(self, output: RoundOutput) -> list[SlotContent]:
-        """Archive the round, advance scheduling, return decoded slots."""
-        state = self.state
-        if self.phase is not Phase.CERTIFIED:
-            raise ProtocolError(f"finish out of order in phase {self.phase}")
+        """Archive the round, advance scheduling, return decoded slots.
+
+        Rounds finish strictly in order — the scheduler advances once per
+        round output, oldest first — so the finished round must be the
+        oldest in flight even when younger rounds are already collecting.
+        """
+        state = self._resolve(output.round_number)
+        if state is not next(iter(self._rounds.values())):
+            raise ProtocolError(
+                f"round {output.round_number} cannot finish before older rounds"
+            )
+        if state.phase is not Phase.CERTIFIED:
+            raise ProtocolError(f"finish out of order in phase {state.phase}")
         self.archive[state.round_number] = RoundArchive(
             round_number=state.round_number,
             layout=state.layout,
@@ -492,20 +580,21 @@ class DissentServer:
         self._trim_archive()
         self.last_participation = state.participation
         contents = self.scheduler.advance(state.cleartext)
-        self.phase = Phase.IDLE
-        self._state = None
+        del self._rounds[state.round_number]
         return contents
 
-    def abandon_round(self) -> None:
+    def abandon_round(self, round_number: int | None = None) -> None:
         """§3.7 hard timeout: discard everything, publish a fresh basis."""
-        state = self.state
+        state = self._resolve(round_number)
         self.last_participation = state.participation
-        self.phase = Phase.IDLE
-        self._state = None
+        del self._rounds[state.round_number]
 
     def _trim_archive(self) -> None:
+        # Rounds finish in ascending order, so insertion order *is* round
+        # order: evicting the first key is O(1) per eviction, where the
+        # old ``min(self.archive)`` scanned every key each time.
         while len(self.archive) > self.policy.archive_rounds:
-            del self.archive[min(self.archive)]
+            del self.archive[next(iter(self.archive))]
 
     # ------------------------------------------------------------------
     # Accusation support (§3.9)

@@ -192,6 +192,24 @@ class CostModel:
         sig_checks = self.verify_many_seconds(num_clients)
         return num_clients * num_servers * per_pair + sig_checks
 
+    def pipeline_period(self, phase_times, depth: int) -> float:
+        """Steady-state round period with ``depth`` rounds in flight.
+
+        Lockstep (depth 1) pays the *sum* of the phase times.  A pipelined
+        engine overlaps successive rounds' phases, so with enough rounds
+        in flight the steady-state period collapses to the *slowest
+        phase*; a shallow window is issue-limited at ``sum / depth``.
+        Matches the real engine in :mod:`repro.core.pipeline`, which
+        ``benchmarks/bench_pipeline.py`` measures against this model.
+        """
+        phases = list(phase_times)
+        if depth < 1:
+            raise ValueError("pipeline depth must be at least 1")
+        total = sum(phases)
+        if depth == 1 or not phases:
+            return total
+        return max(max(phases), total / depth)
+
     def scaled(self, factor: float) -> "CostModel":
         """A uniformly faster/slower machine (sensitivity analyses)."""
         return replace(

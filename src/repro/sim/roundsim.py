@@ -19,6 +19,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
+from repro.core.config import upstream_server
 from repro.core.policy import WindowPolicy, FractionMultiplierPolicy
 from repro.core.schedule import open_slot_bytes
 from repro.sim.churn import LanJitterModel, SessionChurnModel
@@ -66,6 +67,14 @@ class RoundTiming:
     server_processing: float  # everything after the window: "Server processing"
     included_clients: int
     round_bytes: int
+    #: Per-phase times (submission, inventory, compute, commit, reveal,
+    #: certify, output [, pad-prefetch lane]) backing the pipeline model.
+    phase_times: tuple[float, ...] = ()
+    #: Steady-state round period at the configured pipeline depth: equals
+    #: :attr:`total` for lockstep (depth 1); with W rounds in flight the
+    #: period is ``max(max(phase), total / W)`` and the pad derivations
+    #: move off the critical path into their own prefetch lane.
+    pipeline_period: float = 0.0
 
     @property
     def total(self) -> float:
@@ -92,6 +101,12 @@ class RoundSimConfig:
     #: clients); colocated processes contend for the CPU, slowing each
     #: client's per-round compute proportionally.  None = one per machine.
     client_machines: int | None = None
+    #: Rounds kept in flight by the pipelined engine
+    #: (:mod:`repro.core.pipeline`).  1 = lockstep; with W > 1 the
+    #: steady-state round period is the pipeline period (max of the phase
+    #: times once the window is deep enough) and the N*M pad derivations
+    #: are prefetched off the critical path.
+    pipeline_depth: int = 1
 
 
 def _server_exchange_time(config: RoundSimConfig, nbytes: int) -> float:
@@ -133,7 +148,7 @@ def simulate_round(config: RoundSimConfig, rng: random.Random) -> RoundTiming:
     per_server = [0] * m
     serialization = topo.client_uplink.serialization_time(round_bytes)
     for i in range(n):
-        server = i % m
+        server = upstream_server(i, m)
         # Clients behind one server serialize on their shared uplink; the
         # queue position sets each one's serialization delay.
         queue_rank = per_server[server]
@@ -188,11 +203,40 @@ def simulate_round(config: RoundSimConfig, rng: random.Random) -> RoundTiming:
     server_processing = (
         t_inventory + t_compute + t_commit + t_reveal + t_certify + t_output
     )
+    phases = (
+        client_submission,
+        t_inventory,
+        t_compute,
+        t_commit,
+        t_reveal,
+        t_certify,
+        t_output,
+    )
+    if config.pipeline_depth > 1:
+        # Pads prefetched off the critical path: the server's N pair
+        # streams for round r+1 derive while round r's exchanges are in
+        # flight, so stream generation leaves the compute phase and
+        # becomes its own overlapped lane (it still bounds the period —
+        # a lane slower than every exchange would become the bottleneck).
+        stream_time = cost.prng_time(round_bytes * included, cost.server_cores)
+        phases = (
+            client_submission,
+            t_inventory,
+            t_compute - stream_time,
+            t_commit,
+            t_reveal,
+            t_certify,
+            t_output,
+            stream_time,
+        )
+    period = cost.pipeline_period(phases, config.pipeline_depth)
     return RoundTiming(
         client_submission=client_submission,
         server_processing=server_processing,
         included_clients=included,
         round_bytes=round_bytes,
+        phase_times=phases,
+        pipeline_period=period,
     )
 
 
@@ -214,6 +258,7 @@ def mean_timing(timings: list[RoundTiming]) -> RoundTiming:
         server_processing=sum(t.server_processing for t in timings) / k,
         included_clients=round(sum(t.included_clients for t in timings) / k),
         round_bytes=timings[0].round_bytes,
+        pipeline_period=sum(t.pipeline_period for t in timings) / k,
     )
 
 
@@ -505,6 +550,7 @@ def simulate_full_protocol(
     topology: Topology | None = None,
     cost: CostModel = DEFAULT_COST_MODEL,
     soundness_bits: int = 64,
+    pipeline_depth: int = 1,
     seed: int = 0,
 ) -> ProtocolStageTimes:
     """Model one full protocol execution (§5.3, Figure 9).
@@ -552,8 +598,11 @@ def simulate_full_protocol(
         workload=workload,
         topology=topo,
         cost=cost,
+        pipeline_depth=pipeline_depth,
     )
-    dcnet_round = simulate_round(config, rng).total
+    # With rounds in flight the steady-state DC-net stage is the pipeline
+    # period rather than one isolated round's end-to-end latency.
+    dcnet_round = simulate_round(config, rng).pipeline_period
 
     blame_shuffle = (
         cost.message_shuffle_time(num_clients, num_servers, 1, soundness_bits)

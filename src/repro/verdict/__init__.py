@@ -32,7 +32,9 @@ from repro.verdict.hybrid import (
     HybridBlameRecord,
     HybridClient,
     HybridDisruptorClient,
+    HybridPadCommitment,
     HybridSession,
+    pad_chunk_leaves,
     pad_commitment_digest,
 )
 
@@ -52,6 +54,8 @@ __all__ = [
     "HybridBlameRecord",
     "HybridClient",
     "HybridDisruptorClient",
+    "HybridPadCommitment",
     "HybridSession",
+    "pad_chunk_leaves",
     "pad_commitment_digest",
 ]

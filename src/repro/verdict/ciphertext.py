@@ -142,6 +142,7 @@ def make_client_ciphertext(
     payload: bytes | None = None,
     slot_private: PrivateKey | None = None,
     rng=None,
+    chunk_start: int = 0,
 ) -> VerdictClientCiphertext:
     """Build a verifiable contribution for one round.
 
@@ -149,6 +150,11 @@ def make_client_ciphertext(
         payload: the slot content (owner) or None (every other client).
         slot_private: the slot's pseudonym private key — required with
             ``payload``, since the owner proves the second branch.
+        chunk_start: absolute index of the first chunk this contribution
+            covers.  Full rounds use 0; a partial replay of chunks
+            ``[chunk_start, chunk_start + width)`` keeps every proof bound
+            to its *absolute* position, so partial and full transcripts
+            can never be confused for one another.
     """
     if payload is not None and slot_private is None:
         raise ProtocolError("the slot owner must hold the slot's pseudonym key")
@@ -170,7 +176,7 @@ def make_client_ciphertext(
         )
         identity_branch = (ct.a, combined_key.y, ct.b)
         context = submission_context(
-            session_id, round_number, slot_index, client_index, k
+            session_id, round_number, slot_index, client_index, chunk_start + k
         )
         if owner:
             proof = prove_dleq_or(
@@ -199,6 +205,7 @@ def verify_client_ciphertext(
     slot_index: int,
     width: int,
     submission: VerdictClientCiphertext,
+    chunk_start: int = 0,
 ) -> bool:
     """Check every chunk proof of one client submission."""
     if submission.width != width or len(submission.proofs) != width:
@@ -209,7 +216,8 @@ def verify_client_ciphertext(
             return False
         identity_branch = (ct.a, combined_key.y, ct.b)
         context = submission_context(
-            session_id, round_number, slot_index, submission.client_index, k
+            session_id, round_number, slot_index, submission.client_index,
+            chunk_start + k,
         )
         if not verify_dleq_or(
             group, (identity_branch, slot_branch), proof, context
@@ -226,6 +234,7 @@ def _submission_or_items(
     round_number: int,
     slot_index: int,
     submission: VerdictClientCiphertext,
+    chunk_start: int = 0,
 ) -> list[DleqOrItem]:
     """The chunk-proof items one submission contributes to a batch."""
     slot_branch = dlog_statement(group, slot_key_element)
@@ -233,7 +242,8 @@ def _submission_or_items(
     for k, (ct, proof) in enumerate(zip(submission.ciphertexts, submission.proofs)):
         identity_branch = (ct.a, combined_key.y, ct.b)
         context = submission_context(
-            session_id, round_number, slot_index, submission.client_index, k
+            session_id, round_number, slot_index, submission.client_index,
+            chunk_start + k,
         )
         items.append(((identity_branch, slot_branch), proof, context))
     return items
@@ -249,6 +259,7 @@ def batch_verify_client_ciphertexts(
     width: int,
     submissions: Sequence[VerdictClientCiphertext],
     rng=None,
+    chunk_start: int = 0,
 ) -> set[int]:
     """Check a whole round of client proofs in one multi-exponentiation.
 
@@ -275,6 +286,7 @@ def batch_verify_client_ciphertexts(
             round_number,
             slot_index,
             submission,
+            chunk_start,
         )
         items.extend(chunk_items)
         owners.extend([submission.client_index] * len(chunk_items))
@@ -320,6 +332,7 @@ def make_server_share(
     session_id: bytes,
     round_number: int,
     slot_index: int,
+    chunk_start: int = 0,
 ) -> VerdictServerShare:
     """Produce this server's proven decryption shares for the chunk products."""
     shares = []
@@ -331,7 +344,10 @@ def make_server_share(
                 group,
                 server_key.x,
                 a,
-                share_context(session_id, round_number, slot_index, server_index, k),
+                share_context(
+                    session_id, round_number, slot_index, server_index,
+                    chunk_start + k,
+                ),
             )
         )
     return VerdictServerShare(server_index, tuple(shares), tuple(proofs))
@@ -345,6 +361,7 @@ def verify_server_share(
     round_number: int,
     slot_index: int,
     share: VerdictServerShare,
+    chunk_start: int = 0,
 ) -> bool:
     """Check ``log_g(Y_j) = log_{A_k}(share_k)`` for every chunk."""
     if len(share.shares) != len(a_parts) or len(share.proofs) != len(a_parts):
@@ -356,7 +373,10 @@ def verify_server_share(
             a,
             value,
             proof,
-            share_context(session_id, round_number, slot_index, share.server_index, k),
+            share_context(
+                session_id, round_number, slot_index, share.server_index,
+                chunk_start + k,
+            ),
         ):
             return False
     return True
@@ -371,6 +391,7 @@ def batch_verify_server_shares(
     slot_index: int,
     shares: Sequence[VerdictServerShare],
     rng=None,
+    chunk_start: int = 0,
 ) -> set[int]:
     """Check every server's decryption-share proofs in one batch.
 
@@ -392,7 +413,8 @@ def batch_verify_server_shares(
             zip(a_parts, share.shares, share.proofs)
         ):
             context = share_context(
-                session_id, round_number, slot_index, share.server_index, k
+                session_id, round_number, slot_index, share.server_index,
+                chunk_start + k,
             )
             items.append((public.y, a, value, proof, context))
             owners.append(share.server_index)

@@ -54,7 +54,7 @@ from repro.core.client import DissentClient
 from repro.core.schedule import Scheduler
 from repro.core.session import DissentSession
 from repro.crypto import elgamal, prng
-from repro.crypto.hashing import sha256
+from repro.crypto.hashing import merkle_root, sha256
 from repro.crypto.keys import PublicKey
 from repro.errors import ProtocolError
 from repro.util.bytesops import get_bit
@@ -70,8 +70,47 @@ from repro.verdict.ciphertext import (
     open_round,
 )
 
-_PAD_COMMIT_DOMAIN = "dissent.verdict.pad-commit.v1"
+_PAD_COMMIT_DOMAIN = "dissent.verdict.pad-commit.v2"
 _REPLAY_DOMAIN = b"dissent.verdict.hybrid-replay.v1"
+
+#: Pad bytes per Merkle leaf.  A corrupted round's replay re-derives and
+#: re-verifies only the leaves overlapping the corrupted slot instead of
+#: the whole round-length pad; 128 bytes keeps leaf counts small for
+#: paper-size rounds while still splitting multi-slot rounds finely.
+PAD_CHUNK_BYTES = 128
+
+
+def pad_chunk_leaves(
+    group_id: bytes,
+    round_number: int,
+    client_index: int,
+    server_index: int,
+    pad: bytes,
+) -> tuple[bytes, ...]:
+    """Per-chunk leaf digests of one client's pair pad for one round.
+
+    Leaf ``k`` binds the pad bytes ``[k*PAD_CHUNK_BYTES, (k+1)*...)``
+    together with their absolute position, so a replay can check any
+    chunk subset against the archived leaves without re-deriving the
+    rest of the pad.
+    """
+    leaves = []
+    for k in range(0, max(1, -(-len(pad) // PAD_CHUNK_BYTES))):
+        chunk = pad[k * PAD_CHUNK_BYTES : (k + 1) * PAD_CHUNK_BYTES]
+        leaves.append(
+            sha256(
+                pack_fields(
+                    _PAD_COMMIT_DOMAIN,
+                    group_id,
+                    round_number,
+                    client_index,
+                    server_index,
+                    k,
+                ),
+                chunk,
+            )
+        )
+    return tuple(leaves)
 
 
 def pad_commitment_digest(
@@ -81,13 +120,29 @@ def pad_commitment_digest(
     server_index: int,
     pad: bytes,
 ) -> bytes:
-    """Digest binding one client's pair pad for one round and server."""
-    return sha256(
-        pack_fields(
-            _PAD_COMMIT_DOMAIN, group_id, round_number, client_index, server_index
-        ),
-        pad,
+    """Merkle root binding one client's pair pad for one round and server.
+
+    The commitment a client ships with its submission: the root over
+    :func:`pad_chunk_leaves`.  The upstream server re-derives the same
+    pad when combining, so checking it costs only hashing — and archiving
+    the *leaves* beside the root means a later replay re-verifies only
+    the corrupted chunk span.
+    """
+    return merkle_root(
+        list(
+            pad_chunk_leaves(
+                group_id, round_number, client_index, server_index, pad
+            )
+        )
     )
+
+
+@dataclass(frozen=True)
+class HybridPadCommitment:
+    """One archived pad commitment: the root plus its verified leaves."""
+
+    root: bytes
+    leaves: tuple[bytes, ...]
 
 
 class HybridClient(DissentClient):
@@ -104,6 +159,15 @@ class HybridClient(DissentClient):
         super().__init__(*args, **kwargs)
         self.sent_history: dict[int, object] = {}
 
+    def snapshot_state(self) -> dict:
+        snapshot = super().snapshot_state()
+        snapshot["sent_history"] = dict(self.sent_history)
+        return snapshot
+
+    def restore_state(self, snapshot: dict) -> None:
+        super().restore_state(snapshot)
+        self.sent_history = snapshot["sent_history"]
+
     def build_cleartext(self, round_number: int) -> bytes:
         cleartext = super().build_cleartext(round_number)
         # _sent is popped when the output arrives; blame needs it later.
@@ -113,18 +177,24 @@ class HybridClient(DissentClient):
     def pad_commitment(self, round_number: int, length: int) -> bytes:
         """Commit to the pair pad shared with this client's upstream server.
 
-        One digest of one stream: the upstream server re-derives the same
-        pad when combining, so the check costs it a single hash — the fast
-        path stays fast.  (Committing to all M pads would double the
-        client's per-round PRNG work for digests no server could check.)
+        One Merkle root over the pad's chunk digests: the upstream server
+        re-derives the same pad when combining, so the check costs it only
+        hashing — the fast path stays fast.  (Committing to all M pads
+        would double the client's per-round PRNG work for digests no
+        server could check.)
         """
-        upstream = self.index % self.definition.num_servers
+        upstream = self.definition.upstream_server(self.index)
+        fetch = (
+            self.prefetcher.pair_stream
+            if self.prefetcher is not None
+            else prng.pair_stream
+        )
         return pad_commitment_digest(
             self.group_id,
             round_number,
             self.index,
             upstream,
-            prng.pair_stream(self.secrets[upstream], round_number, length),
+            fetch(self.secrets[upstream], round_number, length),
         )
 
     def replay_submission(
@@ -135,13 +205,22 @@ class HybridClient(DissentClient):
         width: int,
         session_id: bytes,
         combined_key: PublicKey,
+        chunk_start: int = 0,
     ):
-        """Verifiably re-assert this client's slot-region contribution."""
+        """Verifiably re-assert part of this client's slot contribution.
+
+        ``chunk_start``/``width`` select the chunk span being replayed;
+        the blame path opens a corrupted slot chunk by chunk and stops at
+        the first witness, so most replays never cover the whole slot.
+        """
         payload = None
         slot_private = None
         record = self.sent_history.get(round_number)
         if slot_index == self.slot and record is not None:
-            payload = record.slot_bytes
+            size = self.group.message_bytes
+            payload = record.slot_bytes[
+                chunk_start * size : (chunk_start + width) * size
+            ]
             slot_private = self.pseudonym
         return make_client_ciphertext(
             self.group,
@@ -155,6 +234,7 @@ class HybridClient(DissentClient):
             payload=payload,
             slot_private=slot_private,
             rng=self.rng,
+            chunk_start=chunk_start,
         )
 
 
@@ -199,7 +279,14 @@ class HybridDisruptorClient(HybridClient):
 
 @dataclass(frozen=True)
 class HybridBlameRecord:
-    """Outcome of one verifiable replay of a corrupted round."""
+    """Outcome of one verifiable replay of a corrupted round.
+
+    ``chunks_replayed`` of ``total_chunks`` were opened: the replay walks
+    the corrupted slot chunk by chunk and stops at the first chunk
+    containing a witness bit, so a disruption near the slot's start costs
+    one chunk of proofs, not the whole slot.  ``true_slot_bytes`` holds
+    the verified bytes of exactly the replayed prefix.
+    """
 
     round_number: int
     slot_index: int
@@ -208,6 +295,8 @@ class HybridBlameRecord:
     verdicts: tuple[TraceVerdict, ...]
     witness_bit: int | None
     true_slot_bytes: bytes
+    chunks_replayed: int = 0
+    total_chunks: int = 0
 
     @property
     def client_culprits(self) -> tuple[int, ...]:
@@ -234,6 +323,14 @@ class HybridCostCounters:
     corrupted_rounds: int = 0
     replay_proofs_checked: int = 0
     accusation_shuffles: int = 0  # stays zero: the point of hybrid mode
+    #: Merkle-scoped pad re-verification: leaves actually re-checked and
+    #: pad bytes actually re-derived during replays (vs. the pre-Merkle
+    #: cost of one full round-length pad per participant per replay).
+    pad_chunks_reverified: int = 0
+    pad_bytes_rederived: int = 0
+    #: Slot chunks opened across all replays (lazy replay stops at the
+    #: first witness chunk).
+    replay_chunks_opened: int = 0
 
 
 class HybridSession(DissentSession):
@@ -307,14 +404,14 @@ class HybridSession(DissentSession):
         """
         if online is None:
             online = set(range(self.definition.num_clients))
-        archive: dict[int, bytes] = {}
+        archive: dict[int, HybridPadCommitment] = {}
         for i in sorted(online - self.expelled):
             client = self.clients[i]
             if not isinstance(client, HybridClient):
                 continue
             digest = client.pad_commitment(round_number, length)
-            upstream = i % self.definition.num_servers
-            expected = pad_commitment_digest(
+            upstream = self.definition.upstream_server(i)
+            leaves = pad_chunk_leaves(
                 self.servers[upstream].group_id,
                 round_number,
                 i,
@@ -323,24 +420,29 @@ class HybridSession(DissentSession):
                     self.servers[upstream].secrets[i], round_number, length
                 ),
             )
-            if digest != expected:
+            if digest != merkle_root(list(leaves)):
                 # Proactive rejection: a miscommitting client is named
                 # before the round even runs.
                 self.expel(i)
                 continue
-            archive[i] = digest
+            # Archive the verified *leaves* beside the root: a replay can
+            # then re-check any chunk span against 32-byte digests instead
+            # of re-deriving whole round-length pads.
+            archive[i] = HybridPadCommitment(root=digest, leaves=leaves)
         self.pad_archive[round_number] = archive
 
     def _trim_hybrid_archives(self) -> None:
         """Blame can only reach archived rounds; drop evidence past that."""
         keep = self.definition.policy.archive_rounds
+        # Rounds insert in ascending order, so first-key eviction is both
+        # oldest-first and O(1) (same fix as DissentServer._trim_archive).
         while len(self.pad_archive) > keep:
-            del self.pad_archive[min(self.pad_archive)]
+            del self.pad_archive[next(iter(self.pad_archive))]
         for client in self.clients:
             if isinstance(client, HybridClient):
                 history = client.sent_history
                 while len(history) > keep:
-                    del history[min(history)]
+                    del history[next(iter(history))]
 
     def _handle_disruption(self, round_number: int, slot_index: int) -> None:
         blame = self.replay_blame(round_number, slot_index)
@@ -360,15 +462,31 @@ class HybridSession(DissentSession):
     # ------------------------------------------------------------------
 
     def replay_blame(self, round_number: int, slot_index: int) -> HybridBlameRecord:
-        """Replay one corrupted slot in verifiable mode and name the culprit."""
+        """Replay one corrupted slot in verifiable mode and name the culprit.
+
+        Two amortizations keep the blame path narrow:
+
+        * **Merkle-scoped pad re-verification** — the archived pad
+          commitments are re-checked only over the pad chunks overlapping
+          the corrupted slot (derive the SHAKE prefix up to the slot's
+          last chunk, hash those chunks, compare against the archived
+          leaves and re-fold the leaves into the root), instead of
+          re-deriving every participant's full round-length pad.
+        * **Lazy chunk replay** — the slot is re-opened one ElGamal chunk
+          at a time, each chunk one batched multi-exponentiation; the walk
+          stops at the first chunk whose verified bytes expose a witness
+          position, so only the corrupted chunk (plus any clean prefix
+          before it) ever pays for proofs.
+        """
         group = self.definition.group
+        counters = self.hybrid_counters
         verifier = self.servers[0]
         archive = verifier.archive.get(round_number)
         if archive is None:
             raise ProtocolError(f"round {round_number} is no longer archived")
         start, end = archive.layout.slot_byte_range(slot_index)
         slot_len = end - start
-        width = chunk_count(group, slot_len)
+        total_chunks = chunk_count(group, slot_len)
         slot_key_element = verifier.slot_keys[slot_index]
         combined = elgamal.combined_key(list(self.definition.server_keys))
         session_id = sha256(_REPLAY_DOMAIN, self.definition.group_id())
@@ -376,111 +494,153 @@ class HybridSession(DissentSession):
         participants = [
             i for i in archive.final_list if i not in self.expelled
         ]
-        # Re-check the archived pad commitments for the corrupted round:
+        # Re-check the archived pad commitments for the corrupted round —
         # the replay is only meaningful against the pads the trace will
-        # disclose, and the commitment is what binds the two.
+        # disclose, and the commitment is what binds the two — scoped to
+        # the chunk span the corrupted slot occupies.
         committed = self.pad_archive.get(round_number, {})
         length = archive.layout.total_bytes
+        first_leaf = start // PAD_CHUNK_BYTES
+        last_leaf = max(first_leaf, (end - 1) // PAD_CHUNK_BYTES)
+        derive_len = min(length, (last_leaf + 1) * PAD_CHUNK_BYTES)
         rejected: list[int] = []
         for i in list(participants):
-            digest = committed.get(i)
-            if digest is None:
+            commitment = committed.get(i)
+            if commitment is None:
                 continue  # non-hybrid client or pre-archive round
-            upstream = i % self.definition.num_servers
-            expected = pad_commitment_digest(
-                self.definition.group_id(),
-                round_number,
-                i,
-                upstream,
-                prng.pair_stream(
-                    self.servers[upstream].secrets[i], round_number, length
-                ),
+            upstream = self.definition.upstream_server(i)
+            pad_prefix = prng.pair_stream(
+                self.servers[upstream].secrets[i], round_number, derive_len
             )
-            if digest != expected:
+            counters.pad_bytes_rederived += derive_len
+            ok = len(commitment.leaves) > last_leaf and merkle_root(
+                list(commitment.leaves)
+            ) == commitment.root
+            if ok:
+                expected = pad_chunk_leaves(
+                    self.definition.group_id(), round_number, i, upstream, pad_prefix
+                )
+                for k in range(first_leaf, last_leaf + 1):
+                    counters.pad_chunks_reverified += 1
+                    if expected[k] != commitment.leaves[k]:
+                        ok = False
+                        break
+            if not ok:
                 rejected.append(i)
                 participants.remove(i)
-        replays = [
-            self.clients[i].replay_submission(
-                round_number, slot_index, slot_key_element, width, session_id, combined
-            )
-            for i in participants
-        ]
-        self.hybrid_counters.replay_proofs_checked += width * len(replays)
-        # One multi-exponentiation checks the whole replay; a failing batch
-        # falls back to bisection so the named set matches per-proof checks.
-        bad_replays = batch_verify_client_ciphertexts(
-            group,
-            combined,
-            slot_key_element,
-            session_id,
-            round_number,
-            slot_index,
-            width,
-            replays,
-        )
-        rejected.extend(sorted(bad_replays))
-        submissions = [
-            s for s in replays if s.client_index not in bad_replays
-        ]
 
-        a_parts, b_parts = combine_client_ciphertexts(group, submissions, width)
-        shares = [
-            make_server_share(
+        corrupted = archive.cleartext[start:end]
+        chunk_bytes = group.message_bytes
+        true_parts: list[bytes] = []
+        witness: int | None = None
+        chunks_replayed = 0
+        for k in range(total_chunks):
+            lo = k * chunk_bytes
+            hi = min(slot_len, lo + chunk_bytes)
+            replays = [
+                self.clients[i].replay_submission(
+                    round_number,
+                    slot_index,
+                    slot_key_element,
+                    1,
+                    session_id,
+                    combined,
+                    chunk_start=k,
+                )
+                for i in participants
+            ]
+            counters.replay_proofs_checked += len(replays)
+            # One multi-exponentiation checks the chunk's replay; a
+            # failing batch falls back to bisection so the named set
+            # matches per-proof checks.
+            bad_replays = batch_verify_client_ciphertexts(
                 group,
-                server.key,
-                server.index,
+                combined,
+                slot_key_element,
+                session_id,
+                round_number,
+                slot_index,
+                1,
+                replays,
+                chunk_start=k,
+            )
+            for i in sorted(bad_replays):
+                rejected.append(i)
+                participants.remove(i)
+            submissions = [
+                s for s in replays if s.client_index not in bad_replays
+            ]
+
+            a_parts, b_parts = combine_client_ciphertexts(group, submissions, 1)
+            shares = [
+                make_server_share(
+                    group,
+                    server.key,
+                    server.index,
+                    a_parts,
+                    session_id,
+                    round_number,
+                    slot_index,
+                    chunk_start=k,
+                )
+                for server in self.servers
+            ]
+            bad_share_servers = batch_verify_server_shares(
+                group,
+                list(self.definition.server_keys),
                 a_parts,
                 session_id,
                 round_number,
                 slot_index,
+                shares,
+                chunk_start=k,
             )
-            for server in self.servers
-        ]
-        bad_share_servers = batch_verify_server_shares(
-            group,
-            list(self.definition.server_keys),
-            a_parts,
-            session_id,
-            round_number,
-            slot_index,
-            shares,
-        )
-        bad_servers = [
-            TraceVerdict("server", j, "invalid replay share")
-            for j in sorted(bad_share_servers)
-        ]
-        shares = [s for s in shares if s.server_index not in bad_share_servers]
-        if bad_servers:
-            return HybridBlameRecord(
-                round_number,
-                slot_index,
-                "blamed",
-                tuple(rejected),
-                tuple(bad_servers),
-                None,
-                b"",
-            )
+            if bad_share_servers:
+                bad_servers = [
+                    TraceVerdict("server", j, "invalid replay share")
+                    for j in sorted(bad_share_servers)
+                ]
+                return HybridBlameRecord(
+                    round_number,
+                    slot_index,
+                    "blamed",
+                    tuple(rejected),
+                    tuple(bad_servers),
+                    None,
+                    b"".join(true_parts),
+                    chunks_replayed=chunks_replayed,
+                    total_chunks=total_chunks,
+                )
 
-        true_bytes = decode_round(group, open_round(group, b_parts, shares))
-        if not true_bytes:
-            true_bytes = bytes(slot_len)  # silent slot: all-zero contribution
-        if len(true_bytes) != slot_len:
-            return HybridBlameRecord(
-                round_number,
-                slot_index,
-                "inconclusive",
-                tuple(rejected),
-                (),
-                None,
-                true_bytes,
-            )
+            chunk_payload = decode_round(group, open_round(group, b_parts, shares))
+            counters.replay_chunks_opened += 1
+            chunks_replayed += 1
+            if not chunk_payload:
+                chunk_payload = bytes(hi - lo)  # silent chunk: all zeros
+            if len(chunk_payload) != hi - lo:
+                return HybridBlameRecord(
+                    round_number,
+                    slot_index,
+                    "inconclusive",
+                    tuple(rejected),
+                    (),
+                    None,
+                    b"".join([*true_parts, chunk_payload]),
+                    chunks_replayed=chunks_replayed,
+                    total_chunks=total_chunks,
+                )
+            true_parts.append(chunk_payload)
+            for offset in range(8 * (hi - lo)):
+                if (
+                    get_bit(chunk_payload, offset) == 0
+                    and get_bit(corrupted[lo:hi], offset) == 1
+                ):
+                    witness = 8 * (start + lo) + offset
+                    break
+            if witness is not None:
+                break  # the corrupted chunk is found; later chunks never replay
 
-        corrupted = archive.cleartext[start:end]
-        witness = None
-        for offset in range(8 * slot_len):
-            if get_bit(true_bytes, offset) == 0 and get_bit(corrupted, offset) == 1:
-                witness = 8 * start + offset
-                break
+        true_bytes = b"".join(true_parts)
         if witness is None:
             status = "blamed" if rejected else "no-witness"
             return HybridBlameRecord(
@@ -491,6 +651,8 @@ class HybridSession(DissentSession):
                 (),
                 None,
                 true_bytes,
+                chunks_replayed=chunks_replayed,
+                total_chunks=total_chunks,
             )
 
         verdicts = self._trace_witness(round_number, witness, archive)
@@ -503,6 +665,8 @@ class HybridSession(DissentSession):
             tuple(verdicts),
             witness,
             true_bytes,
+            chunks_replayed=chunks_replayed,
+            total_chunks=total_chunks,
         )
 
     def _trace_witness(

@@ -206,6 +206,7 @@ class VerdictServer:
         slot_index: int,
         width: int,
         submissions: list[VerdictClientCiphertext],
+        chunk_start: int = 0,
     ) -> set[int]:
         """Check every client proof; returns the rejected client indices.
 
@@ -214,6 +215,9 @@ class VerdictServer:
         servers' bit-for-bit agreement) are identical to checking each
         submission individually — see
         :func:`repro.verdict.ciphertext.batch_verify_client_ciphertexts`.
+        ``chunk_start`` supports partial-range rounds (hybrid replays that
+        re-open only a corrupted chunk span): proofs stay bound to their
+        absolute chunk positions.
         """
         for submission in submissions:
             self.counters.client_proofs_checked += submission.width
@@ -226,6 +230,7 @@ class VerdictServer:
             slot_index,
             width,
             submissions,
+            chunk_start=chunk_start,
         )
         self.counters.rejected_submissions += len(rejected)
         return rejected
@@ -235,6 +240,7 @@ class VerdictServer:
         round_number: int,
         slot_index: int,
         a_parts: list[int],
+        chunk_start: int = 0,
     ) -> VerdictServerShare:
         return make_server_share(
             self.group,
@@ -244,6 +250,7 @@ class VerdictServer:
             self.session_id,
             round_number,
             slot_index,
+            chunk_start=chunk_start,
         )
 
     def verify_share(
@@ -252,6 +259,7 @@ class VerdictServer:
         slot_index: int,
         a_parts: list[int],
         share: VerdictServerShare,
+        chunk_start: int = 0,
     ) -> bool:
         self.counters.share_proofs_checked += len(a_parts)
         return verify_server_share(
@@ -262,6 +270,7 @@ class VerdictServer:
             round_number,
             slot_index,
             share,
+            chunk_start=chunk_start,
         )
 
     def verify_shares(
@@ -270,6 +279,7 @@ class VerdictServer:
         slot_index: int,
         a_parts: list[int],
         shares: list[VerdictServerShare],
+        chunk_start: int = 0,
     ) -> tuple[int, ...]:
         """Check every server's decryption share; returns blamed indices.
 
@@ -288,6 +298,7 @@ class VerdictServer:
                     round_number,
                     slot_index,
                     shares,
+                    chunk_start=chunk_start,
                 )
             )
         )

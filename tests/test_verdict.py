@@ -300,22 +300,26 @@ class TestHybridMode:
         record = session.run_round()
         commitments = session.pad_archive[record.round_number]
         assert set(commitments) == set(range(4))
-        # The upstream server can re-derive each digest from the pad it
-        # already computes when combining.
+        # The upstream server can re-derive each Merkle root from the pad
+        # it already computes when combining, and the archived leaves must
+        # open the archived root.
         from repro.crypto import prng
+        from repro.crypto.hashing import merkle_root
+        from repro.verdict.hybrid import pad_chunk_leaves
 
         length = len(record.output.cleartext)
         for i in range(4):
             upstream = i % 3
             server = session.servers[upstream]
+            pad = prng.pair_stream(server.secrets[i], record.round_number, length)
             expected = pad_commitment_digest(
-                server.group_id,
-                record.round_number,
-                i,
-                upstream,
-                prng.pair_stream(server.secrets[i], record.round_number, length),
+                server.group_id, record.round_number, i, upstream, pad
             )
-            assert commitments[i] == expected
+            assert commitments[i].root == expected
+            assert commitments[i].leaves == pad_chunk_leaves(
+                server.group_id, record.round_number, i, upstream, pad
+            )
+            assert merkle_root(list(commitments[i].leaves)) == expected
 
     def test_hybrid_archives_stay_bounded(self):
         session = HybridSession.build(num_servers=2, num_clients=3, seed=12)
@@ -333,6 +337,107 @@ class TestHybridMode:
         with pytest.raises(ProtocolError):
             session.run_accusation_phase()
         assert session.hybrid_counters.accusation_shuffles == 1
+
+    def test_merkle_root_binds_leaves(self):
+        from repro.crypto.hashing import merkle_root, sha256
+
+        leaves = [sha256(bytes([i])) for i in range(5)]
+        root = merkle_root(list(leaves))
+        assert merkle_root(list(leaves)) == root
+        tampered = list(leaves)
+        tampered[3] = sha256(b"forged")
+        assert merkle_root(tampered) != root
+        assert merkle_root(leaves[:4]) != root
+        assert merkle_root([]) == merkle_root([])
+
+    def test_replay_reverifies_only_the_corrupted_chunk_span(self):
+        """The Merkle satellite's acceptance property: a corrupted round's
+        replay re-derives/re-checks pads only over the corrupted slot's
+        chunk span, and opens slot chunks lazily up to the witness chunk —
+        not the whole slot."""
+        from repro.core.config import Policy
+        from repro.verdict.hybrid import (
+            PAD_CHUNK_BYTES,
+            build_hybrid_with_disruptor,
+        )
+
+        session, victim_slot = build_hybrid_with_disruptor(
+            num_servers=3,
+            num_clients=6,
+            seed=34,
+            policy=Policy(initial_slot_payload=96),
+        )
+        # Every client posts, so all six slots open and the round spans
+        # several pad chunks — the corrupted slot covers only some.
+        for i in range(6):
+            session.post(i, bytes([i + 1]) * 90)
+        for _ in range(4):
+            session.run_round()
+            if session.blames:
+                break
+        blame = session.blames[-1]
+        assert blame.status == "blamed"
+        assert [(v.culprit_kind, v.culprit_index) for v in blame.verdicts] == [
+            ("client", 4)
+        ]
+        # Lazy replay: a multi-chunk slot, never opened past the witness
+        # chunk; the verified prefix is exactly what the record carries.
+        # (Seed-dependent but deterministic: the witness sits in chunk 2
+        # of 5, so three chunks' proofs were never paid for.)
+        assert blame.total_chunks > 1
+        assert blame.chunks_replayed < blame.total_chunks
+        group = session.definition.group
+        archive = session.servers[0].archive[blame.round_number]
+        start, end = archive.layout.slot_byte_range(blame.slot_index)
+        assert len(blame.true_slot_bytes) == min(
+            end - start, blame.chunks_replayed * group.message_bytes
+        )
+
+        counters = session.hybrid_counters
+        length = archive.layout.total_bytes
+        first_leaf = start // PAD_CHUNK_BYTES
+        last_leaf = (end - 1) // PAD_CHUNK_BYTES
+        span = last_leaf - first_leaf + 1
+        # First blame of the session: nobody was expelled before the
+        # replay ran, so every final-list member re-checked its pads.
+        participants = len(archive.final_list)
+        total_leaves = -(-length // PAD_CHUNK_BYTES)
+        # Precondition for the scoping claim: the corrupted slot must not
+        # span the whole round (seed-dependent; fails loudly on drift).
+        assert span < total_leaves
+        # Pad re-verification was scoped to the slot's leaf span, and the
+        # SHAKE re-derivation stopped at the slot's last chunk instead of
+        # the full round length.
+        assert counters.pad_chunks_reverified == span * participants
+        assert counters.pad_chunks_reverified < total_leaves * participants
+        derive_len = min(length, (last_leaf + 1) * PAD_CHUNK_BYTES)
+        assert counters.pad_bytes_rederived == derive_len * participants
+        # Proof work tracked per chunk actually opened.
+        assert counters.replay_chunks_opened == blame.chunks_replayed
+
+    def test_full_slot_replayed_when_corruption_is_in_last_chunk(self):
+        """Worst case for the lazy walk: every chunk opens, same verdicts
+        as the pre-Merkle whole-slot replay."""
+        from repro.core.config import Policy
+        from repro.verdict.hybrid import build_hybrid_with_disruptor
+
+        session, victim_slot = build_hybrid_with_disruptor(
+            num_servers=2,
+            num_clients=4,
+            disruptor_index=3,
+            victim_index=1,
+            seed=9,
+            policy=Policy(initial_slot_payload=64),
+        )
+        session.post(1, b"y" * 60)
+        for _ in range(6):
+            session.run_round()
+            if session.blames:
+                break
+        blame = session.blames[-1]
+        assert blame.status == "blamed"
+        assert 3 in blame.client_culprits
+        assert 1 <= blame.chunks_replayed <= blame.total_chunks
 
 
 # ---------------------------------------------------------------------------
