@@ -1,0 +1,155 @@
+"""Network transport benchmarks: rounds/sec across execution modes.
+
+Compares the same protocol at the same sizes across three execution
+substrates:
+
+* **in-process** — ``DissentSession``, direct method calls (the upper
+  bound: zero transport cost);
+* **loopback** — ``NetworkedSession`` over in-memory frame transports
+  (serialization + dispatch cost, no sockets);
+* **tcp** — ``NetworkedSession`` over real asyncio TCP sockets on
+  localhost (the full wire path the multi-process runner uses).
+
+Every networked round is asserted bit-identical to its in-process twin
+before it is timed — a benchmark of a wrong answer is worthless.  The
+module writes ``benchmarks/BENCH_net.json`` (uploaded by CI) alongside
+the other bench artifacts.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import DissentSession
+from repro.net.runner import NetworkedSession
+
+#: Measurements accumulated by the tests below; dumped once per run.
+_REPORT: dict = {}
+
+CLIENT_SIZES = (8, 16, 32)
+NUM_SERVERS = 3
+ROUNDS = 6
+SEED = 2012
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Write everything the module measured to BENCH_net.json."""
+    yield
+    if _REPORT:
+        path = Path(__file__).with_name("BENCH_net.json")
+        path.write_text(json.dumps(_REPORT, indent=2, sort_keys=True) + "\n")
+
+
+def _post_traffic(session, num_clients):
+    for i in range(min(4, num_clients)):
+        session.post(i, bytes([i + 1]) * 24)
+
+
+def _drive(session, num_clients):
+    """Setup, queue traffic, run the timed window; returns (records, s)."""
+    session.setup()
+    _post_traffic(session, num_clients)
+    t0 = time.perf_counter()
+    records = [session.run_round() for _ in range(ROUNDS)]
+    elapsed = time.perf_counter() - t0
+    return records, elapsed
+
+
+@pytest.mark.parametrize("num_clients", CLIENT_SIZES)
+def test_bench_modes(num_clients, capsys):
+    baseline_records, baseline_s = _drive(
+        DissentSession.build(
+            num_servers=NUM_SERVERS, num_clients=num_clients, seed=SEED
+        ),
+        num_clients,
+    )
+    row = {
+        "in_process": {
+            "seconds": round(baseline_s, 4),
+            "rounds_per_sec": round(ROUNDS / baseline_s, 2),
+        }
+    }
+    for mode in ("loopback", "tcp"):
+        with NetworkedSession.build(
+            num_servers=NUM_SERVERS,
+            num_clients=num_clients,
+            seed=SEED,
+            mode=mode,
+        ) as session:
+            records, elapsed = _drive(session, num_clients)
+        assert records == baseline_records, f"{mode} outputs diverged"
+        row[mode] = {
+            "seconds": round(elapsed, 4),
+            "rounds_per_sec": round(ROUNDS / elapsed, 2),
+            "round_latency_ms": round(elapsed / ROUNDS * 1e3, 2),
+            "overhead_vs_in_process": round(elapsed / baseline_s, 2),
+        }
+    _REPORT[f"clients_{num_clients}"] = {
+        "servers": NUM_SERVERS,
+        "clients": num_clients,
+        "rounds": ROUNDS,
+        **row,
+    }
+    with capsys.disabled():
+        print()
+        print(
+            f"{num_clients} clients / {NUM_SERVERS} servers, {ROUNDS} rounds "
+            "(networked outputs bit-identical):"
+        )
+        for mode, stats in row.items():
+            extra = (
+                f", {stats['overhead_vs_in_process']:.2f}x in-process time"
+                if "overhead_vs_in_process" in stats
+                else ""
+            )
+            print(
+                f"  {mode:>10}: {stats['rounds_per_sec']:7.2f} rounds/s "
+                f"({stats['seconds'] * 1e3:7.1f} ms total{extra})"
+            )
+
+
+def test_bench_subprocess_round_latency(capsys):
+    """Per-round latency with every node a real OS process (8 clients)."""
+    num_clients = 8
+    baseline_records, _ = _drive(
+        DissentSession.build(
+            num_servers=NUM_SERVERS, num_clients=num_clients, seed=SEED
+        ),
+        num_clients,
+    )
+    with NetworkedSession.build(
+        num_servers=NUM_SERVERS,
+        num_clients=num_clients,
+        seed=SEED,
+        mode="subprocess",
+    ) as session:
+        # Node processes spawn lazily on first use: time setup separately
+        # so spawn + key shuffle cost is visible next to the round rate.
+        t0 = time.perf_counter()
+        session.setup()
+        spawn_s = time.perf_counter() - t0
+        _post_traffic(session, num_clients)
+        t0 = time.perf_counter()
+        records = [session.run_round() for _ in range(ROUNDS)]
+        elapsed = time.perf_counter() - t0
+    assert records == baseline_records
+    _REPORT["subprocess_8_clients"] = {
+        "servers": NUM_SERVERS,
+        "clients": num_clients,
+        "rounds": ROUNDS,
+        "spawn_and_setup_seconds": round(spawn_s, 2),
+        "seconds": round(elapsed, 4),
+        "rounds_per_sec": round(ROUNDS / elapsed, 2),
+        "round_latency_ms": round(elapsed / ROUNDS * 1e3, 2),
+    }
+    with capsys.disabled():
+        print()
+        print(
+            f"subprocess mode ({NUM_SERVERS + num_clients} OS processes): "
+            f"{ROUNDS / elapsed:.2f} rounds/s "
+            f"({elapsed / ROUNDS * 1e3:.1f} ms/round, "
+            f"spawned in {spawn_s:.2f}s), outputs bit-identical"
+        )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Dissent as real networked processes: nodes over localhost TCP.
+
+Builds a 3-server / 8-client group where every node runs behind a real
+asyncio TCP socket (or as spawned operating-system processes with
+``--processes``): clients submit signed ciphertexts to their upstream
+server, servers exchange inventory/commit/reveal/signature envelopes
+peer to peer, and certified outputs broadcast back — the same bytes the
+in-process session produces, now crossing actual sockets.  Prints
+per-round wall-clock latency.
+"""
+
+import argparse
+import time
+
+from repro.net.runner import NetworkedSession
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="spawn every node as a real subprocess instead of asyncio tasks",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "subprocess" if args.processes else "tcp"
+    with NetworkedSession.build(
+        num_servers=args.servers,
+        num_clients=args.clients,
+        seed=2012,
+        mode=mode,
+    ) as session:
+        t0 = time.perf_counter()
+        session.setup()
+        setup_s = time.perf_counter() - t0
+        print(
+            f"{args.servers} servers + {args.clients} clients up as "
+            f"{'processes' if args.processes else 'asyncio TCP nodes'}; "
+            f"key shuffle over the wire in {setup_s:.2f}s"
+        )
+        print("group id:", session.definition.group_id().hex()[:16])
+
+        session.post(2 % args.clients, b"meet at the fountain at noon")
+        session.post(5 % args.clients, b"bring the documents")
+
+        print(f"\n{'round':>5} {'status':>10} {'participants':>13} {'latency':>9}")
+        for _ in range(args.rounds):
+            t0 = time.perf_counter()
+            record = session.run_round()
+            latency_ms = (time.perf_counter() - t0) * 1e3
+            print(
+                f"{record.round_number:>5} {record.status.value:>10} "
+                f"{record.participation:>13} {latency_ms:>7.1f}ms"
+            )
+
+        delivered = session.delivered_messages(0)
+        print(f"\ndelivered to client-0 ({len(delivered)} messages):")
+        for round_number, slot, message in delivered:
+            print(f"  round {round_number}, slot {slot}: {message.decode()}")
+        assert any(b"fountain" in m for _, _, m in delivered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

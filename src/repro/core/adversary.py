@@ -105,10 +105,10 @@ class DisruptingServer(DissentServer):
         self.target_slot = target_slot
         self.flipped_bits: dict[int, int] = {}
 
-    def compute_ciphertext(self) -> SignedEnvelope:
-        state = self.state
+    def compute_ciphertext(self, round_number: int | None = None) -> SignedEnvelope:
+        state = self._resolve(round_number)
         layout = state.layout
-        envelope = super().compute_ciphertext()
+        envelope = super().compute_ciphertext(round_number)
         if self.target_slot is None or not layout.is_open(self.target_slot):
             return envelope
         start, end = layout.slot_bit_range(self.target_slot)

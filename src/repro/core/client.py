@@ -35,7 +35,12 @@ from repro.crypto.keys import PrivateKey
 from repro.crypto import schnorr
 from repro.crypto.shuffle import CipherVector
 from repro.errors import InvalidSignature, ProtocolError
-from repro.net.message import CLIENT_CIPHERTEXT, SignedEnvelope, make_envelope
+from repro.net.message import (
+    CLIENT_CIPHERTEXT,
+    ROUND_OUTPUT,
+    SignedEnvelope,
+    make_envelope,
+)
 from repro.util.bytesops import get_bit, set_bit, xor_many
 
 #: In-slot message framing: 2-byte length prefix per message, zero sentinel.
@@ -410,6 +415,28 @@ class DissentClient:
                     (output.round_number, content.slot_index, message)
                 )
         return contents
+
+    def handle_output_envelope(self, envelope: SignedEnvelope) -> list[SlotContent]:
+        """Envelope entry point for the output phase (networked mode).
+
+        The upstream server broadcasts the certified output as a signed
+        ``round-output`` envelope; we authenticate the carrier before
+        decoding, then :meth:`handle_output` re-verifies all M output
+        signatures — behaviour from here on is bit-identical to receiving
+        the :class:`RoundOutput` object directly.
+        """
+        from repro.net.wire import decode_round_output_body
+
+        if envelope.msg_type != ROUND_OUTPUT:
+            raise ProtocolError("not a round-output envelope")
+        if envelope.group_id != self.group_id:
+            raise ProtocolError("round output for a different group")
+        sender_index = self.definition.server_index_of(envelope.sender)
+        envelope.verify(self.definition.server_keys[sender_index])
+        output = decode_round_output_body(self.group, envelope.body)
+        if output.round_number != envelope.round_number:
+            raise ProtocolError("round-output envelope round number mismatch")
+        return self.handle_output(output)
 
     def speculate_delivery(self, round_number: int) -> _SentRecord | None:
         """Optimistically confirm an in-flight round's own-slot delivery.

@@ -211,6 +211,18 @@ class GroupDefinition:
             raise ConfigError(f"server index {index} out of range")
         return f"server-{index}"
 
+    def server_index_of(self, sender: str) -> int:
+        """Invert :meth:`server_name`; the one parser every layer shares."""
+        if not sender.startswith("server-"):
+            raise ConfigError(f"not a server name: {sender!r}")
+        try:
+            index = int(sender.split("-", 1)[1])
+        except ValueError:
+            raise ConfigError(f"not a server name: {sender!r}") from None
+        if not 0 <= index < self.num_servers:
+            raise ConfigError(f"server index {index} out of range")
+        return index
+
     def client_name(self, index: int) -> str:
         if not 0 <= index < self.num_clients:
             raise ConfigError(f"client index {index} out of range")

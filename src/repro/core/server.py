@@ -40,9 +40,11 @@ from repro.crypto.schnorr import Signature, sign as schnorr_sign
 from repro.errors import CommitmentMismatch, ProtocolError
 from repro.net.message import (
     CLIENT_CIPHERTEXT,
+    ROUND_OUTPUT,
     SERVER_COMMIT,
     SERVER_INVENTORY,
     SERVER_REVEAL,
+    SERVER_SIGNATURE,
     SignedEnvelope,
     batch_verify_envelopes,
     make_envelope,
@@ -363,12 +365,7 @@ class DissentServer:
         return state.participation
 
     def _server_index(self, sender: str) -> int:
-        if not sender.startswith("server-"):
-            raise ProtocolError(f"not a server name: {sender!r}")
-        index = int(sender.split("-", 1)[1])
-        if not 0 <= index < self.definition.num_servers:
-            raise ProtocolError(f"server index {index} out of range")
-        return index
+        return self.definition.server_index_of(sender)
 
     def _verify_peer_batch(
         self, envelopes: list[SignedEnvelope], indices: list[int]
@@ -521,6 +518,70 @@ class DissentServer:
         )
         return schnorr_sign(self.key, digest)
 
+    def signature_envelope(self, round_number: int | None = None) -> SignedEnvelope:
+        """Envelope entry point for the certification phase.
+
+        Networked peers exchange output signatures as ``server-signature``
+        envelopes; the body is the bare :meth:`sign_output` signature, so
+        the certified digest check in :meth:`assemble_output` is unchanged.
+        """
+        from repro.net.wire import encode_signature_body
+
+        state = self._resolve(round_number)
+        signature = self.sign_output(state.round_number)
+        return make_envelope(
+            self.key,
+            SERVER_SIGNATURE,
+            self.name,
+            self.group_id,
+            state.round_number,
+            encode_signature_body(self.group, signature),
+        )
+
+    def receive_signature_envelopes(
+        self, envelopes: list[SignedEnvelope]
+    ) -> RoundOutput:
+        """Assemble the round output from peer ``server-signature`` envelopes.
+
+        Envelopes are screened structurally (type, round, one per server),
+        then their embedded signatures feed :meth:`assemble_output`, whose
+        batched digest verification is the real authenticity check — so the
+        output is bit-identical to the in-process signature exchange.
+        """
+        from repro.net.wire import decode_signature_body
+
+        state = self._resolve(None)
+        if len(envelopes) != self.definition.num_servers:
+            raise ProtocolError("need exactly one signature envelope per server")
+        signatures: list[Signature | None] = [None] * self.definition.num_servers
+        for envelope in envelopes:
+            if envelope.msg_type != SERVER_SIGNATURE:
+                raise ProtocolError("non-signature envelope in certification phase")
+            if envelope.round_number != state.round_number:
+                raise ProtocolError("signature envelope for a different round")
+            server_index = self._server_index(envelope.sender)
+            if signatures[server_index] is not None:
+                raise ProtocolError(
+                    f"duplicate signature envelope from server {server_index}"
+                )
+            signatures[server_index] = decode_signature_body(
+                self.group, envelope.body
+            )
+        return self.assemble_output([sig for sig in signatures if sig is not None])
+
+    def output_envelope(self, output: RoundOutput) -> SignedEnvelope:
+        """Wrap a certified round output for broadcast to attached clients."""
+        from repro.net.wire import encode_round_output_body
+
+        return make_envelope(
+            self.key,
+            ROUND_OUTPUT,
+            self.name,
+            self.group_id,
+            output.round_number,
+            encode_round_output_body(self.group, output),
+        )
+
     def assemble_output(self, signatures: list[Signature]) -> RoundOutput:
         """Collect all server signatures into a certified round output."""
         state = self._resolve(None)
@@ -628,4 +689,24 @@ class DissentServer:
             server_index=self.index,
             client_envelopes=own_envelopes,
             pair_bits=pair_bits,
+        )
+
+    def disclosure_envelope(self, round_number: int, bit_index: int) -> SignedEnvelope:
+        """Signed ``accusation-reveal`` envelope for the networked trace.
+
+        Signing the disclosure makes trace equivocation attributable on the
+        wire: the server's own signature pins the pair bits it claimed for
+        this witness position.
+        """
+        from repro.net.message import ACCUSATION_REVEAL
+        from repro.net.wire import encode_accusation_reveal_body
+
+        disclosure = self.trace_disclosure(round_number, bit_index)
+        return make_envelope(
+            self.key,
+            ACCUSATION_REVEAL,
+            self.name,
+            self.group_id,
+            round_number,
+            encode_accusation_reveal_body(self.group, bit_index, disclosure),
         )

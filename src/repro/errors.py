@@ -49,6 +49,30 @@ class RoundFailed(ProtocolError):
     """A round was abandoned (hard timeout / insufficient participation)."""
 
 
+class WireError(ProtocolError):
+    """Base class for network wire-format and transport failures."""
+
+
+class FrameTooLarge(WireError):
+    """A length prefix exceeds the transport's hard frame-size cap."""
+
+
+class FrameTruncated(WireError):
+    """The stream ended (or a buffer ran out) mid-frame."""
+
+
+class WireDecodeError(WireError):
+    """Frame bytes do not decode to a well-formed protocol message."""
+
+
+class UnknownMessageType(WireDecodeError):
+    """A decoded envelope carries a type tag outside the protocol."""
+
+
+class ConnectionClosed(WireError):
+    """The peer closed the connection (clean EOF between frames)."""
+
+
 class ShuffleError(DissentError):
     """The verifiable shuffle aborted or produced an invalid transcript."""
 

@@ -45,6 +45,17 @@ _KNOWN_TYPES = {
 }
 
 
+def is_known_type(msg_type: str) -> bool:
+    """Whether ``msg_type`` is one of the protocol's defined type tags."""
+    return msg_type in _KNOWN_TYPES
+
+
+def require_known_type(msg_type: str) -> None:
+    """Raise :class:`ProtocolError` for a type tag outside the protocol."""
+    if msg_type not in _KNOWN_TYPES:
+        raise ProtocolError(f"unknown message type {msg_type!r}")
+
+
 @dataclass(frozen=True)
 class SignedEnvelope:
     """One signed protocol message."""
@@ -55,6 +66,13 @@ class SignedEnvelope:
     round_number: int
     body: bytes
     signature: Signature
+
+    def __post_init__(self) -> None:
+        # Enforced at construction so *decoded* envelopes are gated too: a
+        # peer cannot inject an unvalidated type tag into dispatch by
+        # putting it on the wire — the tag check used to live only in
+        # :func:`make_envelope`, which a remote sender never runs locally.
+        require_known_type(self.msg_type)
 
     def signed_payload(self) -> bytes:
         """The exact bytes the signature covers."""
@@ -128,8 +146,7 @@ def make_envelope(
     body: bytes,
 ) -> SignedEnvelope:
     """Sign and wrap a message body."""
-    if msg_type not in _KNOWN_TYPES:
-        raise ProtocolError(f"unknown message type {msg_type!r}")
+    require_known_type(msg_type)
     payload = pack_fields(
         "dissent.envelope.v1", msg_type, sender, group_id, round_number, body
     )

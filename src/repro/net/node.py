@@ -1,0 +1,634 @@
+"""Message-driven node daemons: servers and clients behind dispatch loops.
+
+A :class:`ServerNode`/:class:`ClientNode` wraps the existing
+:class:`~repro.core.server.DissentServer`/:class:`~repro.core.client.DissentClient`
+phase machines behind an inbound frame dispatch loop, so the protocol
+runs by **receiving messages** instead of having a driver call methods:
+
+* client ciphertext submission — a signed ``client-ciphertext`` envelope
+  sent to the client's upstream server
+  (:meth:`~repro.core.config.GroupDefinition.upstream_server`);
+* server inventory / commit / reveal / signature exchange — signed
+  envelopes broadcast between server peers, gated so out-of-order
+  arrival (a fast peer racing a slow one) buffers instead of faulting;
+* round-output broadcast — each server pushes the certified output to
+  its attached clients as a signed ``round-output`` envelope;
+* accusation reveals — servers answer trace requests with signed
+  ``accusation-reveal`` envelopes, making equivocation attributable.
+
+The dispatch loop **never crashes on adversarial input**: malformed
+frames, unknown message types, and protocol-state violations are
+reported to the coordinator as typed ``node-error`` frames and the loop
+keeps serving.
+
+Run ``python -m repro.net.node CONFIG.json`` to start one node as a real
+operating-system process that dials the session hub over TCP — this is
+what :class:`repro.net.runner.NetworkedSession` spawns in multi-process
+mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import json
+import random
+import sys
+
+from repro.core.client import DissentClient
+from repro.core.config import GroupDefinition
+from repro.core.server import DissentServer
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.errors import (
+    ConnectionClosed,
+    DissentError,
+    FrameTooLarge,
+    FrameTruncated,
+    ProtocolError,
+    WireDecodeError,
+)
+from repro.net.message import (
+    CLIENT_CIPHERTEXT,
+    ROUND_OUTPUT,
+    SERVER_COMMIT,
+    SERVER_INVENTORY,
+    SERVER_REVEAL,
+    SERVER_SIGNATURE,
+    SignedEnvelope,
+)
+from repro.net.transport import Transport, connect_tcp
+from repro.net.wire import (
+    decode_envelope,
+    decode_int_list,
+    decode_int_pairs,
+    decode_routed,
+    encode_envelope,
+    encode_evidence,
+    encode_rebuttal,
+    encode_round_output_body,
+)
+from repro.util.serialization import pack_fields, unpack_fields
+
+#: The hub/orchestrator's reserved routing name.
+COORDINATOR = "coord"
+
+# Control-frame kinds (coordinator <-> node plumbing; protocol content
+# always travels as signed envelopes inside ``K_ENVELOPE`` frames).
+K_HELLO = "hello"
+K_ENVELOPE = "envelope"
+K_REPLY = "reply"
+K_REPLY_ERROR = "reply-error"
+K_NODE_ERROR = "node-error"
+K_SCHEDULE = "schedule"
+K_SCHED_REQUEST = "sched-request"
+K_ROUND_BEGIN = "round-begin"
+K_COMMIT_GO = "commit-go"
+K_ROUND_ABANDON = "round-abandon"
+K_ROUND_FAILED = "round-failed"
+K_INVENTORY_STATUS = "inventory-status"
+K_ROUND_DONE = "round-done"
+K_ROUND_APPLIED = "round-applied"
+K_EXPEL = "expel"
+K_POST = "post"
+K_STATUS_REQUEST = "status-request"
+K_DELIVERED_REQUEST = "delivered-request"
+K_ACC_REQUEST = "acc-request"
+K_ACC_OUTCOME = "acc-outcome"
+K_EVIDENCE_REQUEST = "evidence-request"
+K_DISCLOSURE_REQUEST = "disclosure-request"
+K_REBUT_REQUEST = "rebut-request"
+K_SHUTDOWN = "shutdown"
+
+#: Bound on envelopes buffered for rounds a node has not opened yet —
+#: out-of-order arrival is legitimate (a fast peer), unbounded buffering
+#: of unopened rounds is a memory hole.
+_MAX_EARLY_ENVELOPES = 1024
+
+
+def _unpack_typed(body: bytes, spec: str, what: str) -> list:
+    """Unpack a control body against a type spec ('i'=int, 'b'=bytes)."""
+    try:
+        fields = unpack_fields(body)
+    except ValueError as exc:
+        raise WireDecodeError(f"malformed {what}: {exc}") from exc
+    if len(fields) != len(spec):
+        raise WireDecodeError(
+            f"{what}: expected {len(spec)} fields, got {len(fields)}"
+        )
+    for position, (value, code) in enumerate(zip(fields, spec)):
+        expected = int if code == "i" else bytes
+        if not isinstance(value, expected):
+            raise WireDecodeError(f"{what}: field {position} has the wrong type")
+    return fields
+
+
+class NodeRuntime:
+    """Shared dispatch loop: recv → decode → handle, with error isolation."""
+
+    def __init__(self, name: str, definition: GroupDefinition, transport: Transport) -> None:
+        self.name = name
+        self.definition = definition
+        self.group = definition.group
+        self.transport = transport
+        self._stopped = False
+
+    # -- plumbing ------------------------------------------------------
+
+    async def _send(self, to: str, kind: str, seq: int, body: bytes) -> None:
+        from repro.net.wire import encode_routed
+
+        await self.transport.send(encode_routed(to, self.name, kind, seq, body))
+
+    async def _send_envelope(self, to: str, envelope: SignedEnvelope) -> None:
+        await self._send(to, K_ENVELOPE, 0, encode_envelope(self.group, envelope))
+
+    async def _report(self, exc: Exception) -> None:
+        """Tell the coordinator something went wrong; never raises."""
+        try:
+            await self._send(
+                COORDINATOR,
+                K_NODE_ERROR,
+                0,
+                pack_fields(type(exc).__name__, str(exc)),
+            )
+        except Exception:
+            pass
+
+    # -- the dispatch loop ---------------------------------------------
+
+    async def run(self) -> None:
+        """Announce ourselves, then serve inbound frames until shutdown.
+
+        One malformed or protocol-violating message must never take the
+        node down: decode and handler errors are reported and the loop
+        continues.  Only transport-level failures (closed peer, torn
+        framing) end the loop.
+        """
+        await self._send(COORDINATOR, K_HELLO, 0, b"")
+        while not self._stopped:
+            try:
+                payload = await self.transport.recv()
+            except ConnectionClosed:
+                break
+            except (FrameTooLarge, FrameTruncated) as exc:
+                # The stream position is gone; nothing to salvage.
+                await self._report(exc)
+                break
+            try:
+                frame = decode_routed(payload)
+            except WireDecodeError as exc:
+                await self._report(exc)
+                continue
+            await self._dispatch(frame)
+        await self.transport.aclose()
+
+    async def _dispatch(self, frame) -> None:
+        try:
+            result = await self.handle(frame.kind, frame.body)
+        except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            if frame.seq:
+                await self._send(
+                    frame.sender,
+                    K_REPLY_ERROR,
+                    frame.seq,
+                    pack_fields(type(exc).__name__, str(exc)),
+                )
+            else:
+                await self._report(exc)
+            return
+        if frame.seq:
+            await self._send(frame.sender, K_REPLY, frame.seq, result or b"")
+
+    async def handle(self, kind: str, body: bytes) -> bytes | None:
+        if kind == K_SHUTDOWN:
+            self._stopped = True
+            return b""
+        if kind == K_ENVELOPE:
+            await self.handle_envelope(decode_envelope(self.group, body))
+            return None
+        raise WireDecodeError(f"{self.name}: unhandled frame kind {kind!r}")
+
+    async def handle_envelope(self, envelope: SignedEnvelope) -> None:
+        raise WireDecodeError(f"{self.name}: unexpected envelope {envelope.msg_type}")
+
+
+class _NetRound:
+    """A server node's per-round message-collection state (internal)."""
+
+    def __init__(self, round_number: int, expected: tuple[int, ...]) -> None:
+        self.round_number = round_number
+        self.expected = expected
+        self.ciphertexts: dict[int, SignedEnvelope] = {}
+        self.inventories: dict[int, SignedEnvelope] = {}
+        self.commits: dict[int, SignedEnvelope] = {}
+        self.reveals: dict[int, SignedEnvelope] = {}
+        self.signatures: dict[int, SignedEnvelope] = {}
+        self.inventory_made = False
+        self.inventory_digested = False
+        self.commit_go = False
+        self.committed = False
+        self.commitments_digested = False
+        self.revealed = False
+        self.combined = False
+        self.signed = False
+
+
+class ServerNode(NodeRuntime):
+    """One anytrust server as a message-driven daemon."""
+
+    def __init__(self, server: DissentServer, transport: Transport) -> None:
+        super().__init__(server.name, server.definition, transport)
+        self.server = server
+        self.index = server.index
+        self._rounds: dict[int, _NetRound] = {}
+        self._early: dict[int, list[SignedEnvelope]] = {}
+        self._early_count = 0
+        #: Rounds at or below this finished or were abandoned; stragglers
+        #: for them are dropped instead of buffered (they can never be
+        #: replayed, so buffering them would only leak the early budget).
+        self._completed_through = -1
+
+    # -- control handlers ----------------------------------------------
+
+    async def handle(self, kind: str, body: bytes) -> bytes | None:
+        if kind == K_SCHEDULE:
+            self.server.learn_schedule(list(decode_int_list(body)))
+            return b""
+        if kind == K_ROUND_BEGIN:
+            round_number, packed = _unpack_typed(body, "ib", "round-begin")
+            await self._begin_round(round_number, decode_int_list(packed))
+            return None
+        if kind == K_COMMIT_GO:
+            (round_number,) = _unpack_typed(body, "i", "commit-go")
+            state = self._require_round(round_number)
+            state.commit_go = True
+            await self._advance(state)
+            return None
+        if kind == K_ROUND_ABANDON:
+            (round_number,) = _unpack_typed(body, "i", "round-abandon")
+            self._require_round(round_number)
+            self.server.abandon_round(round_number)
+            del self._rounds[round_number]
+            self._mark_completed(round_number)
+            return b""
+        if kind == K_EXPEL:
+            (client_index,) = _unpack_typed(body, "i", "expel")
+            self.server.expel_client(client_index)
+            return b""
+        if kind == K_EVIDENCE_REQUEST:
+            (round_number,) = _unpack_typed(body, "i", "evidence-request")
+            archive = self.server.archive.get(round_number)
+            if archive is None:
+                from repro.errors import AccusationError
+
+                raise AccusationError(
+                    f"round {round_number} is no longer archived"
+                )
+            return encode_evidence(archive.to_evidence())
+        if kind == K_DISCLOSURE_REQUEST:
+            round_number, bit_index = _unpack_typed(body, "ii", "disclosure-request")
+            envelope = self.server.disclosure_envelope(round_number, bit_index)
+            return encode_envelope(self.group, envelope)
+        return await super().handle(kind, body)
+
+    def _require_round(self, round_number: int) -> _NetRound:
+        state = self._rounds.get(round_number)
+        if state is None:
+            raise ProtocolError(
+                f"{self.name}: round {round_number} is not in progress"
+            )
+        return state
+
+    async def _begin_round(self, round_number: int, submitters) -> None:
+        self.server.open_round(round_number)
+        expected = tuple(
+            i
+            for i in sorted(submitters)
+            if self.definition.upstream_server(i) == self.index
+        )
+        state = _NetRound(round_number, expected)
+        self._rounds[round_number] = state
+        for envelope in self._early.pop(round_number, []):
+            self._early_count -= 1
+            try:
+                self._store(state, envelope)
+            except DissentError as exc:
+                # One bad buffered envelope must not abort the round.
+                await self._report(exc)
+        await self._advance(state)
+
+    # -- envelope handlers ---------------------------------------------
+
+    async def handle_envelope(self, envelope: SignedEnvelope) -> None:
+        if envelope.msg_type not in (
+            CLIENT_CIPHERTEXT,
+            SERVER_INVENTORY,
+            SERVER_COMMIT,
+            SERVER_REVEAL,
+            SERVER_SIGNATURE,
+        ):
+            raise WireDecodeError(
+                f"{self.name}: unexpected envelope type {envelope.msg_type!r}"
+            )
+        state = self._rounds.get(envelope.round_number)
+        if state is None:
+            if envelope.round_number <= self._completed_through:
+                return  # straggler for a finished round: harmless, drop
+            # Legitimate out-of-order arrival: a peer (or client) raced our
+            # round-begin.  Buffer, bounded.
+            if self._early_count >= _MAX_EARLY_ENVELOPES:
+                raise ProtocolError(
+                    f"{self.name}: early-envelope buffer full, dropping "
+                    f"round {envelope.round_number} {envelope.msg_type}"
+                )
+            self._early.setdefault(envelope.round_number, []).append(envelope)
+            self._early_count += 1
+            return
+        self._store(state, envelope)
+        await self._advance(state)
+
+    def _store(self, state: _NetRound, envelope: SignedEnvelope) -> None:
+        if envelope.msg_type == CLIENT_CIPHERTEXT:
+            client_index = self.server._client_index(envelope.sender)
+            if client_index is None or client_index not in state.expected:
+                raise ProtocolError(
+                    f"{self.name}: unexpected ciphertext from {envelope.sender} "
+                    f"in round {state.round_number}"
+                )
+            state.ciphertexts.setdefault(client_index, envelope)
+            return
+        server_index = self.server._server_index(envelope.sender)
+        buckets = {
+            SERVER_INVENTORY: state.inventories,
+            SERVER_COMMIT: state.commits,
+            SERVER_REVEAL: state.reveals,
+            SERVER_SIGNATURE: state.signatures,
+        }
+        buckets[envelope.msg_type].setdefault(server_index, envelope)
+
+    def _mark_completed(self, round_number: int) -> None:
+        """Advance the straggler watermark and purge its early buffers."""
+        self._completed_through = max(self._completed_through, round_number)
+        for stale in [r for r in self._early if r <= self._completed_through]:
+            self._early_count -= len(self._early.pop(stale))
+
+    async def _broadcast_peers(self, envelope: SignedEnvelope) -> None:
+        for j in range(self.definition.num_servers):
+            if j != self.index:
+                await self._send_envelope(self.definition.server_name(j), envelope)
+
+    async def _advance(self, state: _NetRound) -> None:
+        """Run every phase whose gate is satisfied (in order, repeatedly).
+
+        Each transition mirrors one orchestrated call of the in-process
+        :class:`~repro.core.session.DissentSession.run_round`, so the
+        phase machine's outputs are bit-identical — only the trigger
+        changed from a method call to message arrival.
+        """
+        num_servers = self.definition.num_servers
+        progress = True
+        while progress and state.round_number in self._rounds:
+            progress = False
+            if not state.inventory_made and all(
+                i in state.ciphertexts for i in state.expected
+            ):
+                batch = [state.ciphertexts[i] for i in state.expected]
+                if batch:
+                    self.server.accept_ciphertexts(batch)
+                own = self.server.make_inventory(state.round_number)
+                state.inventories[self.index] = own
+                state.inventory_made = True
+                await self._broadcast_peers(own)
+                progress = True
+            if (
+                state.inventory_made
+                and not state.inventory_digested
+                and len(state.inventories) == num_servers
+            ):
+                ordered = [state.inventories[j] for j in range(num_servers)]
+                participation = self.server.receive_inventories(ordered)
+                ok = self.server.participation_ok()
+                state.inventory_digested = True
+                await self._send(
+                    COORDINATOR,
+                    K_INVENTORY_STATUS,
+                    0,
+                    pack_fields(state.round_number, participation, 1 if ok else 0),
+                )
+                progress = True
+            if state.commit_go and state.inventory_digested and not state.committed:
+                own = self.server.compute_ciphertext(state.round_number)
+                state.commits[self.index] = own
+                state.committed = True
+                await self._broadcast_peers(own)
+                progress = True
+            if (
+                state.committed
+                and not state.commitments_digested
+                and len(state.commits) == num_servers
+            ):
+                ordered = [state.commits[j] for j in range(num_servers)]
+                self.server.receive_commitments(ordered)
+                state.commitments_digested = True
+                own = self.server.reveal_ciphertext(state.round_number)
+                state.reveals[self.index] = own
+                state.revealed = True
+                await self._broadcast_peers(own)
+                progress = True
+            if (
+                state.revealed
+                and not state.combined
+                and len(state.reveals) == num_servers
+            ):
+                ordered = [state.reveals[j] for j in range(num_servers)]
+                self.server.receive_reveals(ordered)
+                state.combined = True
+                own = self.server.signature_envelope(state.round_number)
+                state.signatures[self.index] = own
+                state.signed = True
+                await self._broadcast_peers(own)
+                progress = True
+            if (
+                state.signed
+                and len(state.signatures) == num_servers
+                and state.round_number in self._rounds
+            ):
+                ordered = [state.signatures[j] for j in range(num_servers)]
+                output = self.server.receive_signature_envelopes(ordered)
+                contents = self.server.finish_round(output)
+                shuffle_requested = any(c.shuffle_request for c in contents)
+                out_envelope = self.server.output_envelope(output)
+                for i in range(self.definition.num_clients):
+                    if self.definition.upstream_server(i) == self.index:
+                        await self._send_envelope(
+                            self.definition.client_name(i), out_envelope
+                        )
+                del self._rounds[state.round_number]
+                self._mark_completed(state.round_number)
+                await self._send(
+                    COORDINATOR,
+                    K_ROUND_DONE,
+                    0,
+                    pack_fields(
+                        state.round_number,
+                        1 if shuffle_requested else 0,
+                        encode_round_output_body(self.group, output),
+                    ),
+                )
+                progress = True
+
+
+class ClientNode(NodeRuntime):
+    """One client as a message-driven daemon."""
+
+    def __init__(self, client: DissentClient, transport: Transport) -> None:
+        super().__init__(client.name, client.definition, transport)
+        self.client = client
+        self.index = client.index
+
+    async def handle(self, kind: str, body: bytes) -> bytes | None:
+        if kind == K_SCHED_REQUEST:
+            try:
+                fields = unpack_fields(body)
+            except ValueError as exc:
+                raise WireDecodeError(f"malformed sched-request: {exc}") from exc
+            if len(fields) < 2 or not all(isinstance(f, bytes) for f in fields):
+                raise WireDecodeError("sched-request needs purpose + public keys")
+            purpose, publics = fields[0], [
+                PublicKey.from_bytes(self.group, data) for data in fields[1:]
+            ]
+            envelope = self.client.signed_scheduling_submission(publics, purpose)
+            return encode_envelope(self.group, envelope)
+        if kind == K_SCHEDULE:
+            slot = self.client.learn_schedule(list(decode_int_list(body)))
+            return pack_fields(slot)
+        if kind == K_ROUND_BEGIN:
+            round_number, packed = _unpack_typed(body, "ib", "round-begin")
+            if self.index in decode_int_list(packed):
+                envelope = self.client.produce_ciphertext(round_number)
+                upstream = self.definition.upstream_server(self.index)
+                await self._send_envelope(
+                    self.definition.server_name(upstream), envelope
+                )
+            return None
+        if kind == K_ROUND_FAILED:
+            round_number, participation = _unpack_typed(body, "ii", "round-failed")
+            self.client.handle_round_failure(round_number, participation)
+            return b""
+        if kind == K_POST:
+            (message,) = _unpack_typed(body, "b", "post")
+            self.client.queue_message(message)
+            return b""
+        if kind == K_STATUS_REQUEST:
+            return pack_fields(
+                1 if self.client.has_pending_traffic else 0,
+                1 if self.client.pending_accusation is not None else 0,
+            )
+        if kind == K_DELIVERED_REQUEST:
+            (since,) = _unpack_typed(body, "i", "delivered-request")
+            items = [
+                pack_fields(round_number, slot, message)
+                for round_number, slot, message in self.client.received[since:]
+            ]
+            return pack_fields(*items) if items else b""
+        if kind == K_ACC_REQUEST:
+            try:
+                fields = unpack_fields(body)
+            except ValueError as exc:
+                raise WireDecodeError(f"malformed acc-request: {exc}") from exc
+            if (
+                len(fields) < 2
+                or not isinstance(fields[0], int)
+                or not all(isinstance(f, bytes) for f in fields[1:])
+            ):
+                raise WireDecodeError("acc-request needs width + public keys")
+            width, publics = fields[0], [
+                PublicKey.from_bytes(self.group, data) for data in fields[1:]
+            ]
+            from repro.core.keyshuffle import pack_cipher_vector
+
+            vector = self.client.accusation_submission(publics, width)
+            return pack_cipher_vector(self.group, vector)
+        if kind == K_ACC_OUTCOME:
+            (handled,) = _unpack_typed(body, "i", "acc-outcome")
+            self.client.accusation_outcome(bool(handled))
+            return b""
+        if kind == K_REBUT_REQUEST:
+            round_number, bit_index, packed = _unpack_typed(
+                body, "iib", "rebut-request"
+            )
+            claimed = decode_int_pairs(packed)
+            rebuttal = self.client.rebut(round_number, bit_index, claimed)
+            return encode_rebuttal(self.group, rebuttal)
+        return await super().handle(kind, body)
+
+    async def handle_envelope(self, envelope: SignedEnvelope) -> None:
+        if envelope.msg_type != ROUND_OUTPUT:
+            raise WireDecodeError(
+                f"{self.name}: unexpected envelope type {envelope.msg_type!r}"
+            )
+        self.client.handle_output_envelope(envelope)
+        await self._send(
+            COORDINATOR, K_ROUND_APPLIED, 0, pack_fields(envelope.round_number)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Subprocess entry point
+# ---------------------------------------------------------------------------
+
+
+def _resolve_class(path: str):
+    """Import ``package.module:ClassName`` (adversarial factories in tests)."""
+    module_name, _, class_name = path.partition(":")
+    if not module_name or not class_name:
+        raise ValueError(f"node class must be 'module:Class', got {path!r}")
+    return getattr(importlib.import_module(module_name), class_name)
+
+
+def node_from_config(config: dict, transport: Transport):
+    """Build the right node daemon from a spawn-config dictionary."""
+    definition = GroupDefinition.from_canonical_bytes(
+        bytes.fromhex(config["definition"])
+    )
+    key = PrivateKey(definition.group, int(config["private_x"], 16))
+    rng = random.Random(config["rng_seed"])
+    index = config["index"]
+    kwargs = config.get("node_kwargs") or {}
+    if config["role"] == "server":
+        factory = (
+            _resolve_class(config["node_class"])
+            if config.get("node_class")
+            else DissentServer
+        )
+        return ServerNode(factory(definition, index, key, rng, **kwargs), transport)
+    if config["role"] == "client":
+        factory = (
+            _resolve_class(config["node_class"])
+            if config.get("node_class")
+            else DissentClient
+        )
+        return ClientNode(factory(definition, index, key, rng, **kwargs), transport)
+    raise ValueError(f"unknown node role {config['role']!r}")
+
+
+async def _run_from_config(config: dict) -> None:
+    transport = await connect_tcp(config["host"], config["port"])
+    node = node_from_config(config, transport)
+    await node.run()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.net.node CONFIG.json`` — run one node process."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.net.node CONFIG.json", file=sys.stderr)
+        return 2
+    with open(argv[0], encoding="utf-8") as handle:
+        config = json.load(handle)
+    asyncio.run(_run_from_config(config))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

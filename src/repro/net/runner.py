@@ -1,0 +1,1008 @@
+"""`NetworkedSession`: the Dissent protocol over real transports.
+
+Matches the :class:`~repro.core.session.DissentSession` surface
+(``setup`` / ``run_round`` / ``run_rounds`` / ``post`` /
+``delivered_messages`` / ``run_until_quiet`` / ``run_accusation_phase``)
+but executes rounds by passing **only signed envelopes over transports**:
+clients submit ciphertexts to their upstream server, servers exchange
+inventories/commits/reveals/signatures peer to peer, outputs broadcast
+back, and accusation reveals cross the wire as signed envelopes.  Outputs,
+records, and blame verdicts are bit-identical to the in-process session
+for the same seed.
+
+Three modes:
+
+* ``"loopback"`` — every node in-process on one event loop, frames over
+  deterministic in-memory transports (fault-injectable; fastest).
+* ``"tcp"`` — every node in-process but framed over real asyncio TCP
+  sockets on localhost.
+* ``"subprocess"`` — every node a spawned ``python -m repro.net.node``
+  operating-system process dialing the hub over localhost TCP.
+
+Topology is hub-and-spoke: each node holds one transport to the session
+hub, which routes frames by destination name (the coordinator relays but
+cannot forge — every protocol message is signed end to end).  The
+coordinator replaces :class:`DissentSession`'s direct method calls with
+control barriers; all protocol content rides signed envelopes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import sys
+import tempfile
+import threading
+from collections.abc import Sequence
+
+from repro.core.accusation import (
+    Accusation,
+    TraceVerdict,
+    accusation_max_bytes,
+    trace_accusation,
+)
+from repro.core.client import DissentClient
+from repro.core.config import GroupDefinition, Policy
+from repro.core.keyshuffle import (
+    make_session_key,
+    open_shuffle_submissions,
+    run_key_shuffle,
+    run_message_shuffle,
+    shuffle_run_id,
+    unpack_cipher_vector,
+    verify_session_keys,
+)
+from repro.core.rounds import QuietOutcome, RoundRecord, RoundStatus
+from repro.core.server import DissentServer
+from repro.core.session import build_keys
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.shuffle import message_vector_width
+from repro.errors import (
+    AccusationError,
+    ConnectionClosed,
+    DissentError,
+    ProtocolError,
+    TraceInconclusive,
+    WireError,
+)
+import repro.errors as _errors_module
+from repro.net import node as nodemod
+from repro.net.node import (
+    COORDINATOR,
+    ClientNode,
+    K_ACC_OUTCOME,
+    K_ACC_REQUEST,
+    K_COMMIT_GO,
+    K_DELIVERED_REQUEST,
+    K_DISCLOSURE_REQUEST,
+    K_EVIDENCE_REQUEST,
+    K_EXPEL,
+    K_HELLO,
+    K_INVENTORY_STATUS,
+    K_NODE_ERROR,
+    K_POST,
+    K_REBUT_REQUEST,
+    K_REPLY,
+    K_REPLY_ERROR,
+    K_ROUND_APPLIED,
+    K_ROUND_BEGIN,
+    K_ROUND_DONE,
+    K_ROUND_FAILED,
+    K_ROUND_ABANDON,
+    K_SCHED_REQUEST,
+    K_SCHEDULE,
+    K_SHUTDOWN,
+    K_STATUS_REQUEST,
+    ServerNode,
+)
+from repro.net.transport import connect_tcp, loopback_pair, serve_tcp
+from repro.net.wire import (
+    RoutedFrame,
+    decode_accusation_reveal_body,
+    decode_envelope,
+    decode_rebuttal,
+    decode_round_output_body,
+    decode_routed,
+    encode_int_list,
+    encode_int_pairs,
+    encode_routed,
+)
+from repro.util.serialization import pack_fields, unpack_fields
+
+#: Seconds a coordinator barrier waits for node traffic before declaring
+#: the session wedged.  Generous: real crypto on small CI machines.
+DEFAULT_TIMEOUT = 120.0
+
+MODES = ("loopback", "tcp", "subprocess")
+
+
+class _Hub:
+    """Routes frames between named transports; coordinator traffic inboxes."""
+
+    def __init__(self) -> None:
+        self.transports: dict[str, object] = {}
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        self._ready = asyncio.Event()
+        self._expected: set[str] = set()
+        self._tasks: list[asyncio.Task] = []
+
+    def expect(self, names: Sequence[str]) -> None:
+        self._expected = set(names)
+
+    async def wait_ready(self, timeout: float) -> None:
+        await asyncio.wait_for(self._ready.wait(), timeout)
+
+    def _check_ready(self) -> None:
+        if self._expected and self._expected <= set(self.transports):
+            self._ready.set()
+
+    async def attach(self, transport) -> None:
+        """Serve one connection: handshake, then route until it closes."""
+        try:
+            frame = decode_routed(await transport.recv())
+        except (WireError, ConnectionClosed):
+            await transport.aclose()
+            return
+        if frame.kind != K_HELLO or not frame.sender:
+            await transport.aclose()
+            return
+        name = frame.sender
+        if name == COORDINATOR or name in self.transports:
+            # A second connection claiming a registered name would hijack
+            # that node's inbound routing; refuse it.
+            await transport.aclose()
+            return
+        self.transports[name] = transport
+        self._check_ready()
+        try:
+            while True:
+                payload = await transport.recv()
+                try:
+                    routed = decode_routed(payload)
+                except WireError as exc:
+                    await self.inbox.put(
+                        RoutedFrame(
+                            to=COORDINATOR,
+                            sender=name,
+                            kind=K_NODE_ERROR,
+                            seq=0,
+                            body=pack_fields(type(exc).__name__, str(exc)),
+                        )
+                    )
+                    continue
+                if routed.to == COORDINATOR:
+                    await self.inbox.put(routed)
+                    continue
+                target = self.transports.get(routed.to)
+                if target is None:
+                    await self.inbox.put(
+                        RoutedFrame(
+                            to=COORDINATOR,
+                            sender=name,
+                            kind=K_NODE_ERROR,
+                            seq=0,
+                            body=pack_fields(
+                                "WireError",
+                                f"no route to {routed.to!r}",
+                            ),
+                        )
+                    )
+                    continue
+                # Forward the payload bytes untouched: the hub relays
+                # signed envelopes, it never reconstructs them.
+                await target.send(payload)
+        except (ConnectionClosed, WireError, OSError):
+            pass
+        finally:
+            if self.transports.get(name) is transport:
+                del self.transports[name]
+            await transport.aclose()
+
+    def spawn_attach(self, transport) -> None:
+        self._tasks.append(asyncio.create_task(self.attach(transport)))
+
+    async def close(self) -> None:
+        for transport in list(self.transports.values()):
+            await transport.aclose()
+        for task in self._tasks:
+            task.cancel()
+
+
+def _raise_remote(body: bytes) -> None:
+    try:
+        name, message = unpack_fields(body)
+    except ValueError:
+        raise ProtocolError(f"unparseable remote error: {body!r}") from None
+    exc_type = getattr(_errors_module, str(name), None)
+    if isinstance(exc_type, type) and issubclass(exc_type, DissentError):
+        raise exc_type(str(message))
+    raise ProtocolError(f"remote {name}: {message}")
+
+
+class NetworkedSession:
+    """Drives one Dissent group end to end over real transports.
+
+    Build with :meth:`build` (same signature spirit as
+    :meth:`DissentSession.build <repro.core.session.DissentSession.build>`
+    plus ``mode``), use as a context manager or call :meth:`close` when
+    done — subprocesses and sockets are real resources.
+    """
+
+    def __init__(
+        self,
+        definition: GroupDefinition,
+        server_keys: Sequence[PrivateKey],
+        client_keys: Sequence[PrivateKey],
+        rng: random.Random,
+        mode: str = "loopback",
+        server_seeds: Sequence[int] | None = None,
+        client_seeds: Sequence[int] | None = None,
+        server_factories: dict | None = None,
+        client_factories: dict | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if mode not in MODES:
+            raise ProtocolError(f"mode must be one of {MODES}, got {mode!r}")
+        self.definition = definition
+        self.mode = mode
+        self.rng = rng
+        self.timeout = timeout
+        self.round_number = 0
+        self.records: list[RoundRecord] = []
+        self.expelled: set[int] = set()
+        self.convicted_servers: set[int] = set()
+        self.scheduled = False
+        self._server_keys = list(server_keys)
+        self._client_keys = list(client_keys)
+        self._server_seeds = list(
+            server_seeds
+            if server_seeds is not None
+            else [rng.getrandbits(64) for _ in server_keys]
+        )
+        self._client_seeds = list(
+            client_seeds
+            if client_seeds is not None
+            else [rng.getrandbits(64) for _ in client_keys]
+        )
+        self._server_factories = dict(server_factories or {})
+        self._client_factories = dict(client_factories or {})
+        self._slot_elements: list[int] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._hub: _Hub | None = None
+        self._tcp_server = None
+        self._node_tasks: list[asyncio.Task] = []
+        self._pump_task: asyncio.Task | None = None
+        self._processes: list = []
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._buckets: dict[tuple[str, int], asyncio.Queue] = {}
+        self._node_errors: list[str] = []
+        self._seq = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        group_name: str = "test-256",
+        num_servers: int = 3,
+        num_clients: int = 8,
+        policy: Policy | None = None,
+        seed: int | None = None,
+        mode: str = "loopback",
+        server_factories: dict | None = None,
+        client_factories: dict | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> "NetworkedSession":
+        """Fresh keys and node seeds, derived exactly as
+        :meth:`DissentSession.build` derives them — the same ``seed``
+        yields bit-identical keys, slots, outputs, and verdicts."""
+        rng = random.Random(seed) if seed is not None else random.Random()
+        built = build_keys(group_name, num_servers, num_clients, policy, rng)
+        server_seeds = [rng.getrandbits(64) for _ in range(num_servers)]
+        client_seeds = [rng.getrandbits(64) for _ in range(num_clients)]
+        return cls(
+            built.definition,
+            built.server_keys,
+            built.client_keys,
+            rng,
+            mode=mode,
+            server_seeds=server_seeds,
+            client_seeds=client_seeds,
+            server_factories=server_factories,
+            client_factories=client_factories,
+            timeout=timeout,
+        )
+
+    def __enter__(self) -> "NetworkedSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        if self._closed:
+            raise ProtocolError("session is closed")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="dissent-net-loop", daemon=True
+        )
+        self._thread.start()
+        self._call(self._start_async())
+        self._started = True
+
+    def _call(self, coro, timeout: float | None = None):
+        """Run a coroutine on the session loop from the caller's thread.
+
+        The outer cap is a backstop only: multi-barrier operations (a
+        round has three) legitimately budget ``self.timeout`` per step,
+        so the cap sits well above their sum and the per-step timeouts
+        are what raise typed :class:`ProtocolError` on a wedged session.
+        """
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(
+            timeout if timeout is not None else 6 * self.timeout + 30
+        )
+
+    def _node_names(self) -> list[str]:
+        return [
+            self.definition.server_name(j)
+            for j in range(self.definition.num_servers)
+        ] + [
+            self.definition.client_name(i)
+            for i in range(self.definition.num_clients)
+        ]
+
+    def _make_server(self, j: int) -> DissentServer:
+        factory, kwargs = self._server_factories.get(j, (DissentServer, {}))
+        return factory(
+            self.definition,
+            j,
+            self._server_keys[j],
+            random.Random(self._server_seeds[j]),
+            **kwargs,
+        )
+
+    def _make_client(self, i: int) -> DissentClient:
+        factory, kwargs = self._client_factories.get(i, (DissentClient, {}))
+        return factory(
+            self.definition,
+            i,
+            self._client_keys[i],
+            random.Random(self._client_seeds[i]),
+            **kwargs,
+        )
+
+    async def _start_async(self) -> None:
+        self._hub = _Hub()
+        self._hub.expect(self._node_names())
+        if self.mode == "subprocess":
+            await self._start_tcp_listener()
+            await self._spawn_processes()
+        elif self.mode == "tcp":
+            await self._start_tcp_listener()
+            await self._start_inprocess_nodes(tcp=True)
+        else:
+            await self._start_inprocess_nodes(tcp=False)
+        await self._hub.wait_ready(self.timeout)
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def _start_tcp_listener(self) -> None:
+        async def handler(transport):
+            await self._hub.attach(transport)
+
+        self._tcp_server, self._port = await serve_tcp(handler, "127.0.0.1", 0)
+
+    async def _start_inprocess_nodes(self, tcp: bool) -> None:
+        nodes = []
+        for j in range(self.definition.num_servers):
+            nodes.append(lambda t, j=j: ServerNode(self._make_server(j), t))
+        for i in range(self.definition.num_clients):
+            nodes.append(lambda t, i=i: ClientNode(self._make_client(i), t))
+        for make_node in nodes:
+            if tcp:
+                transport = await connect_tcp("127.0.0.1", self._port)
+            else:
+                hub_side, node_side = loopback_pair()
+                self._hub.spawn_attach(hub_side)
+                transport = node_side
+            node = make_node(transport)
+            self._node_tasks.append(asyncio.create_task(node.run()))
+
+    def _spawn_config(self, role: str, index: int) -> dict:
+        factories = (
+            self._server_factories if role == "server" else self._client_factories
+        )
+        keys = self._server_keys if role == "server" else self._client_keys
+        seeds = self._server_seeds if role == "server" else self._client_seeds
+        config = {
+            "role": role,
+            "index": index,
+            "definition": self.definition.canonical_bytes().hex(),
+            "private_x": format(keys[index].x, "x"),
+            "rng_seed": seeds[index],
+            "host": "127.0.0.1",
+            "port": self._port,
+        }
+        if index in factories:
+            factory, kwargs = factories[index]
+            config["node_class"] = f"{factory.__module__}:{factory.__qualname__}"
+            config["node_kwargs"] = kwargs
+        return config
+
+    async def _spawn_processes(self) -> None:
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="dissent-net-")
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(nodemod.__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src_root, env.get("PYTHONPATH", "")])
+        )
+        specs = [
+            ("server", j) for j in range(self.definition.num_servers)
+        ] + [("client", i) for i in range(self.definition.num_clients)]
+        for role, index in specs:
+            path = os.path.join(self._tmpdir.name, f"{role}-{index}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(self._spawn_config(role, index), handle)
+            stderr_path = os.path.join(self._tmpdir.name, f"{role}-{index}.err")
+            with open(stderr_path, "wb") as stderr_handle:
+                process = await asyncio.create_subprocess_exec(
+                    sys.executable,
+                    "-m",
+                    "repro.net.node",
+                    path,
+                    env=env,
+                    stdout=asyncio.subprocess.DEVNULL,
+                    stderr=stderr_handle,
+                )
+            self._processes.append(process)
+
+    def close(self) -> None:
+        """Shut nodes down, reap subprocesses, stop the loop thread.
+
+        Safe after a *failed* startup too: whatever was brought up before
+        the failure (loop thread, listener, spawned processes, key files)
+        is torn down even though the session never became usable.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is None:
+            return
+        try:
+            self._call(self._close_async(), timeout=60)
+        except Exception:
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._loop.close()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+
+    async def _close_async(self) -> None:
+        # Graceful shutdown requests need the reply pump; without it (a
+        # failed startup) go straight to tearing connections down.
+        if self._pump_task is not None:
+            for name in self._node_names():
+                if self._hub is None or name not in self._hub.transports:
+                    continue
+                try:
+                    await asyncio.wait_for(self._request(name, K_SHUTDOWN, b""), 5)
+                except Exception:
+                    pass
+        for process in self._processes:
+            try:
+                await asyncio.wait_for(process.wait(), 5)
+            except asyncio.TimeoutError:
+                process.kill()
+                await process.wait()
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+        for task in self._node_tasks:
+            task.cancel()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        if self._hub is not None:
+            await self._hub.close()
+
+    # ------------------------------------------------------------------
+    # Coordinator plumbing
+    # ------------------------------------------------------------------
+
+    async def _pump(self) -> None:
+        """Demultiplex coordinator-bound frames: replies and statuses."""
+        assert self._hub is not None
+        while True:
+            frame = await self._hub.inbox.get()
+            if frame.kind in (K_REPLY, K_REPLY_ERROR):
+                future = self._pending.pop(frame.seq, None)
+                if future is not None and not future.done():
+                    if frame.kind == K_REPLY:
+                        future.set_result(frame.body)
+                    else:
+                        try:
+                            _raise_remote(frame.body)
+                        except DissentError as exc:
+                            future.set_exception(exc)
+                continue
+            if frame.kind == K_NODE_ERROR:
+                try:
+                    name, message = unpack_fields(frame.body)
+                except ValueError:
+                    name, message = "WireError", repr(frame.body)
+                self._node_errors.append(f"{frame.sender}: {name}: {message}")
+                continue
+            try:
+                fields = unpack_fields(frame.body)
+                round_number = fields[0] if fields and isinstance(fields[0], int) else -1
+            except ValueError:
+                round_number = -1
+            bucket = self._buckets.setdefault(
+                (frame.kind, round_number), asyncio.Queue()
+            )
+            bucket.put_nowait(frame)
+
+    async def _send(self, to: str, kind: str, seq: int, body: bytes) -> None:
+        assert self._hub is not None
+        transport = self._hub.transports.get(to)
+        if transport is None:
+            raise ProtocolError(f"no transport registered for {to!r}")
+        await transport.send(encode_routed(to, COORDINATOR, kind, seq, body))
+
+    async def _request(self, to: str, kind: str, body: bytes) -> bytes:
+        assert self._loop is not None
+        self._seq += 1
+        seq = self._seq
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[seq] = future
+        await self._send(to, kind, seq, body)
+        try:
+            return await asyncio.wait_for(future, self.timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(seq, None)
+            raise ProtocolError(
+                f"{to} did not answer {kind} within {self.timeout}s"
+                + (f" (node errors: {self._node_errors})" if self._node_errors else "")
+            ) from None
+
+    async def _gather(self, kind: str, round_number: int, count: int) -> list:
+        """Collect ``count`` unsolicited frames of one kind for one round.
+
+        Node errors reported *before* this barrier started are diagnostics
+        only (error isolation: a node that survived a hostile frame keeps
+        serving, so stale reports must not wedge later rounds); errors
+        arriving while we are blocked abort the wait early, since they
+        usually explain why the expected frame will never come.
+        """
+        bucket = self._buckets.setdefault((kind, round_number), asyncio.Queue())
+        frames: list[RoutedFrame] = []
+        errors_before = len(self._node_errors)
+        deadline = asyncio.get_running_loop().time() + self.timeout
+        while len(frames) < count:
+            try:
+                frames.append(bucket.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0 or len(self._node_errors) > errors_before:
+                raise ProtocolError(
+                    f"waiting for {count} {kind} frames of round {round_number}, "
+                    f"got {len(frames)}; node errors: "
+                    f"{self._node_errors[errors_before:] or self._node_errors}"
+                )
+            try:
+                frames.append(
+                    await asyncio.wait_for(bucket.get(), min(remaining, 0.25))
+                )
+            except asyncio.TimeoutError:
+                continue
+        if bucket.empty():
+            # A round's barrier keys are never gathered again; dropping the
+            # drained queue keeps _buckets from growing one entry per round
+            # for the session's lifetime.
+            self._buckets.pop((kind, round_number), None)
+        return frames
+
+    async def _broadcast(
+        self, names: Sequence[str], kind: str, body: bytes
+    ) -> None:
+        for name in names:
+            await self._send(name, kind, 0, body)
+
+    def _server_names(self) -> list[str]:
+        return [
+            self.definition.server_name(j)
+            for j in range(self.definition.num_servers)
+        ]
+
+    def _client_names(self) -> list[str]:
+        return [
+            self.definition.client_name(i)
+            for i in range(self.definition.num_clients)
+        ]
+
+    # ------------------------------------------------------------------
+    # Setup: the key shuffle establishes the slot schedule
+    # ------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Run the scheduling key shuffle over the wire.
+
+        Session-key generation and the mix cascade run on the coordinator
+        (exactly as the in-process driver runs them — and in the same RNG
+        order, which is what keeps slots bit-identical), while every
+        client's signed scheduling submission crosses the wire as a real
+        ``shuffle-submission`` envelope.
+        """
+        if self.scheduled:
+            raise ProtocolError("session already scheduled")
+        self._ensure_started()
+        self._call(self._setup_async())
+        self.scheduled = True
+
+    async def _setup_async(self) -> None:
+        definition = self.definition
+        purpose = b"dissent.key-shuffle|" + definition.group_id()
+        privates = []
+        session_keys = []
+        for j in range(definition.num_servers):
+            private, session_key = make_session_key(
+                self._server_keys[j], j, purpose, self.rng
+            )
+            privates.append(private)
+            session_keys.append(session_key)
+        publics = verify_session_keys(definition, session_keys, purpose)
+        body = pack_fields(purpose, *[public.to_bytes() for public in publics])
+        replies = await asyncio.gather(
+            *[
+                self._request(definition.client_name(i), K_SCHED_REQUEST, body)
+                for i in range(definition.num_clients)
+            ]
+        )
+        envelopes = [decode_envelope(definition.group, reply) for reply in replies]
+        submissions = open_shuffle_submissions(
+            definition, envelopes, shuffle_run_id(purpose, publics)
+        )
+        result = run_key_shuffle(
+            definition, privates, submissions, context=purpose, rng=self.rng
+        )
+        self._slot_elements = list(result.slot_elements)
+        schedule_body = encode_int_list(self._slot_elements)
+        await asyncio.gather(
+            *[
+                self._request(name, K_SCHEDULE, schedule_body)
+                for name in self._server_names() + self._client_names()
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # One DC-net round, message-driven
+    # ------------------------------------------------------------------
+
+    def run_round(self, online: set[int] | None = None) -> RoundRecord:
+        """Execute one complete round purely by envelope exchange."""
+        if not self.scheduled:
+            raise ProtocolError("setup() must run before rounds")
+        return self._call(self._run_round_async(online))
+
+    async def _run_round_async(self, online: set[int] | None) -> RoundRecord:
+        definition = self.definition
+        r = self.round_number
+        self.round_number += 1
+        if online is None:
+            online = set(range(definition.num_clients))
+        submitters = sorted(i for i in online if i not in self.expelled)
+        begin_body = pack_fields(r, encode_int_list(submitters))
+        # Servers first so their round state opens before ciphertexts land
+        # (late arrivals would only be buffered, but why make them late).
+        await self._broadcast(self._server_names(), K_ROUND_BEGIN, begin_body)
+        await self._broadcast(self._client_names(), K_ROUND_BEGIN, begin_body)
+
+        statuses = await self._gather(
+            K_INVENTORY_STATUS, r, definition.num_servers
+        )
+        participations = set()
+        all_ok = True
+        for frame in statuses:
+            _, participation, ok = unpack_fields(frame.body)
+            participations.add(participation)
+            all_ok = all_ok and bool(ok)
+        if len(participations) != 1:
+            raise ProtocolError("servers disagree on the participation count")
+        participation = participations.pop()
+
+        if not all_ok:
+            # §3.7 hard timeout: abandon, publish the fresh count.
+            abandon_body = pack_fields(r)
+            await asyncio.gather(
+                *[
+                    self._request(name, K_ROUND_ABANDON, abandon_body)
+                    for name in self._server_names()
+                ]
+            )
+            failed_body = pack_fields(r, participation)
+            await asyncio.gather(
+                *[
+                    self._request(name, K_ROUND_FAILED, failed_body)
+                    for name in self._client_names()
+                ]
+            )
+            record = RoundRecord(
+                round_number=r,
+                status=RoundStatus.FAILED,
+                participation=participation,
+                output=None,
+            )
+            self.records.append(record)
+            return record
+
+        await self._broadcast(self._server_names(), K_COMMIT_GO, pack_fields(r))
+        dones = await self._gather(K_ROUND_DONE, r, definition.num_servers)
+        await self._gather(K_ROUND_APPLIED, r, definition.num_clients)
+
+        output_blobs = set()
+        shuffle_requested = False
+        for frame in dones:
+            _, flag, blob = unpack_fields(frame.body)
+            shuffle_requested = shuffle_requested or bool(flag)
+            output_blobs.add(blob)
+        if len(output_blobs) != 1:
+            raise ProtocolError("servers disagree on the combined cleartext")
+        output = decode_round_output_body(definition.group, output_blobs.pop())
+
+        record = RoundRecord(
+            round_number=r,
+            status=RoundStatus.COMPLETED,
+            participation=participation,
+            output=output,
+            shuffle_requested=shuffle_requested,
+        )
+        self.records.append(record)
+        return record
+
+    def run_rounds(
+        self, count: int, online: set[int] | None = None
+    ) -> list[RoundRecord]:
+        """Run several rounds; accusation shuffles fire automatically."""
+        records = []
+        for _ in range(count):
+            record = self.run_round(online)
+            records.append(record)
+            if record.shuffle_requested:
+                self.run_accusation_phase()
+        return records
+
+    # ------------------------------------------------------------------
+    # Accusation phase (§3.9) over the wire
+    # ------------------------------------------------------------------
+
+    def run_accusation_phase(self) -> list[TraceVerdict]:
+        """Accusation shuffle + trace; reveals cross the wire signed."""
+        return self._call(self._run_accusation_async())
+
+    async def _run_accusation_async(self) -> list[TraceVerdict]:
+        definition = self.definition
+        purpose = b"dissent.accusation-shuffle|" + definition.group_id()
+        privates = []
+        session_keys = []
+        for j in range(definition.num_servers):
+            private, session_key = make_session_key(
+                self._server_keys[j], j, purpose, self.rng
+            )
+            privates.append(private)
+            session_keys.append(session_key)
+        publics = verify_session_keys(definition, session_keys, purpose)
+        width = message_vector_width(
+            definition.group, accusation_max_bytes(definition.group)
+        )
+        participants = [
+            i for i in range(definition.num_clients) if i not in self.expelled
+        ]
+        body = pack_fields(width, *[public.to_bytes() for public in publics])
+        replies = await asyncio.gather(
+            *[
+                self._request(definition.client_name(i), K_ACC_REQUEST, body)
+                for i in participants
+            ]
+        )
+        submissions = [
+            unpack_cipher_vector(definition.group, reply) for reply in replies
+        ]
+        result = run_message_shuffle(
+            definition, privates, submissions, context=purpose, rng=self.rng
+        )
+        verdicts: list[TraceVerdict] = []
+        for message in result.messages:
+            if not message:
+                continue
+            try:
+                accusation = Accusation.from_bytes(definition.group, message)
+            except AccusationError:
+                continue
+            try:
+                verdicts.extend(await self._trace_async(accusation))
+            except (AccusationError, TraceInconclusive):
+                continue
+        for verdict in verdicts:
+            if verdict.culprit_kind == "client":
+                await self._expel_async(verdict.culprit_index)
+            else:
+                self.convicted_servers.add(verdict.culprit_index)
+        handled = bool(verdicts)
+        outcome_body = pack_fields(1 if handled else 0)
+        await asyncio.gather(
+            *[
+                self._request(definition.client_name(i), K_ACC_OUTCOME, outcome_body)
+                for i in participants
+            ]
+        )
+        return verdicts
+
+    async def _trace_async(
+        self, accusation: Accusation, verifier: int = 0
+    ) -> list[TraceVerdict]:
+        """Gather evidence and signed reveals over the wire, then trace.
+
+        The trace itself (pure verification) runs on a worker thread; its
+        rebuttal oracle performs live ``rebut-request`` round-trips back
+        through the event loop — in a deployment that is exactly a network
+        RPC to the client.
+        """
+        definition = self.definition
+        group = definition.group
+        r = accusation.round_number
+        from repro.net.wire import decode_evidence
+
+        evidence_blob = await self._request(
+            definition.server_name(verifier), K_EVIDENCE_REQUEST, pack_fields(r)
+        )
+        evidence = decode_evidence(evidence_blob)
+        disclosures = []
+        reveal_body = pack_fields(r, accusation.bit_index)
+        for j in range(definition.num_servers):
+            reply = await self._request(
+                definition.server_name(j), K_DISCLOSURE_REQUEST, reveal_body
+            )
+            envelope = decode_envelope(group, reply)
+            # The reveal is signed: equivocation here is attributable.
+            envelope.verify(definition.server_keys[j])
+            if envelope.round_number != r:
+                raise AccusationError(f"server {j} revealed the wrong round")
+            bit_index, disclosure = decode_accusation_reveal_body(
+                group, envelope.body
+            )
+            if bit_index != accusation.bit_index or disclosure.server_index != j:
+                raise AccusationError(f"server {j} revealed the wrong position")
+            disclosures.append(disclosure)
+        slot_keys = [
+            PublicKey(group, element) for element in self._slot_elements
+        ]
+        loop = asyncio.get_running_loop()
+
+        def rebut(client_index: int, round_number: int, bit_index: int, claimed):
+            request = self._request(
+                definition.client_name(client_index),
+                K_REBUT_REQUEST,
+                pack_fields(
+                    round_number, bit_index, encode_int_pairs(dict(claimed))
+                ),
+            )
+            reply = asyncio.run_coroutine_threadsafe(request, loop).result(
+                self.timeout
+            )
+            return decode_rebuttal(group, reply)
+
+        return await loop.run_in_executor(
+            None,
+            lambda: trace_accusation(
+                group,
+                list(definition.client_keys),
+                list(definition.server_keys),
+                slot_keys,
+                definition.group_id(),
+                evidence,
+                accusation,
+                disclosures,
+                rebut,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Membership management
+    # ------------------------------------------------------------------
+
+    def expel(self, client_index: int) -> None:
+        """Expel a convicted disruptor from every server's roster."""
+        self._ensure_started()
+        self._call(self._expel_async(client_index))
+
+    async def _expel_async(self, client_index: int) -> None:
+        self.expelled.add(client_index)
+        body = pack_fields(client_index)
+        await asyncio.gather(
+            *[
+                self._request(name, K_EXPEL, body)
+                for name in self._server_names()
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience for applications and tests
+    # ------------------------------------------------------------------
+
+    def post(self, client_index: int, message: bytes) -> None:
+        """Queue an anonymous message from one client."""
+        self._ensure_started()
+        self._call(
+            self._request(
+                self.definition.client_name(client_index),
+                K_POST,
+                pack_fields(message),
+            )
+        )
+
+    def delivered_messages(self, client_index: int = 0) -> list[tuple[int, int, bytes]]:
+        """(round, slot, message) triples as observed by one client."""
+        self._ensure_started()
+        blob = self._call(
+            self._request(
+                self.definition.client_name(client_index),
+                K_DELIVERED_REQUEST,
+                pack_fields(0),
+            )
+        )
+        if not blob:
+            return []
+        triples = []
+        for item in unpack_fields(blob):
+            round_number, slot, message = unpack_fields(item)
+            triples.append((round_number, slot, message))
+        return triples
+
+    def _pending_traffic(self) -> bool:
+        async def query() -> bool:
+            replies = await asyncio.gather(
+                *[
+                    self._request(
+                        self.definition.client_name(i), K_STATUS_REQUEST, b""
+                    )
+                    for i in range(self.definition.num_clients)
+                    if i not in self.expelled
+                ]
+            )
+            for reply in replies:
+                pending, accusation = unpack_fields(reply)
+                if pending or accusation:
+                    return True
+            return False
+
+        return self._call(query())
+
+    def run_until_quiet(self, max_rounds: int = 32) -> QuietOutcome:
+        """Run rounds until no client has pending traffic."""
+        for used in range(max_rounds):
+            if not self._pending_traffic():
+                return QuietOutcome(used, True)
+            record = self.run_round()
+            if record.shuffle_requested:
+                self.run_accusation_phase()
+        return QuietOutcome(max_rounds, not self._pending_traffic())

@@ -1,0 +1,259 @@
+"""Duplex frame transports: asyncio TCP and a deterministic loopback.
+
+A :class:`Transport` moves whole frames (see :mod:`repro.net.wire`) in
+both directions.  Two implementations:
+
+* :class:`TcpTransport` — real sockets via asyncio streams, used by the
+  localhost demos, the multi-process runner, and any future multi-machine
+  deployment.
+* :class:`LoopbackTransport` — an in-memory pair for tests and
+  single-process sessions, with **injectable fault schedules**: per-frame
+  latency, deterministic index-based drops, and adjacent-frame reordering,
+  so delivery pathologies are reproducible instead of depending on timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import ConnectionClosed, FrameTooLarge, FrameTruncated
+from repro.net.wire import MAX_FRAME_BYTES, encode_frame
+
+_LEN_BYTES = 4
+
+
+class Transport:
+    """Abstract duplex frame channel."""
+
+    async def send(self, payload: bytes) -> None:
+        """Transmit one frame payload."""
+        raise NotImplementedError
+
+    async def recv(self) -> bytes:
+        """Receive the next frame payload.
+
+        Raises:
+            ConnectionClosed: the peer closed cleanly between frames.
+            FrameTruncated: the stream ended mid-frame.
+            FrameTooLarge: the peer announced a frame over the cap.
+        """
+        raise NotImplementedError
+
+    async def aclose(self) -> None:
+        """Close the channel; pending :meth:`recv` calls unblock."""
+        raise NotImplementedError
+
+    @property
+    def peername(self) -> str:
+        return "?"
+
+
+# ---------------------------------------------------------------------------
+# TCP
+# ---------------------------------------------------------------------------
+
+
+class TcpTransport(Transport):
+    """Frames over an asyncio TCP stream pair."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.max_frame_bytes = max_frame_bytes
+        self._closed = False
+
+    async def send(self, payload: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosed("transport is closed")
+        self.writer.write(encode_frame(payload, self.max_frame_bytes))
+        await self.writer.drain()
+
+    async def recv(self) -> bytes:
+        try:
+            header = await self.reader.readexactly(_LEN_BYTES)
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                raise FrameTruncated(
+                    f"stream ended {len(exc.partial)} bytes into a length prefix"
+                ) from exc
+            raise ConnectionClosed("peer closed the connection") from exc
+        n = int.from_bytes(header, "big")
+        if n > self.max_frame_bytes:
+            # Tear the connection down: after an oversized announcement the
+            # stream position is unrecoverable.
+            await self.aclose()
+            raise FrameTooLarge(
+                f"peer announced a {n}-byte frame (cap is {self.max_frame_bytes})"
+            )
+        try:
+            return await self.reader.readexactly(n)
+        except asyncio.IncompleteReadError as exc:
+            raise FrameTruncated(
+                f"stream ended {len(exc.partial)} of {n} bytes into a frame"
+            ) from exc
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    @property
+    def peername(self) -> str:
+        try:
+            peer = self.writer.get_extra_info("peername")
+        except Exception:
+            peer = None
+        return f"{peer[0]}:{peer[1]}" if peer else "tcp:?"
+
+
+async def connect_tcp(
+    host: str, port: int, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> TcpTransport:
+    """Dial a node/hub listener and wrap the stream in a transport."""
+    reader, writer = await asyncio.open_connection(host, port)
+    return TcpTransport(reader, writer, max_frame_bytes)
+
+
+async def serve_tcp(
+    handler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> tuple[asyncio.AbstractServer, int]:
+    """Listen for transports; ``handler(transport)`` runs per connection.
+
+    Returns the server object and the bound port (useful with port 0).
+    """
+
+    async def on_connection(reader, writer):
+        await handler(TcpTransport(reader, writer, max_frame_bytes))
+
+    server = await asyncio.start_server(on_connection, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    return server, bound_port
+
+
+# ---------------------------------------------------------------------------
+# Deterministic in-memory loopback
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Deterministic delivery pathologies for one loopback direction.
+
+    Attributes:
+        latency: seconds every frame waits before delivery (event-loop
+            time; 0 delivers immediately in send order).
+        drop: send indices (0-based) that are silently discarded — the
+            receiver never sees them.
+        swap: send indices ``i`` delivered *after* frame ``i+1`` (adjacent
+            reorder).  If frame ``i+1`` never comes, the held frame flushes
+            at close so reordering cannot deadlock a stream.
+        extra_delay: per-send-index additional latency seconds.
+    """
+
+    latency: float = 0.0
+    drop: frozenset[int] = frozenset()
+    swap: frozenset[int] = frozenset()
+    extra_delay: Mapping[int, float] = field(default_factory=dict)
+
+
+class _LoopbackEnd:
+    """One direction of a loopback pair (internal)."""
+
+    def __init__(self, faults: FaultSchedule, max_frame_bytes: int) -> None:
+        self.faults = faults
+        self.max_frame_bytes = max_frame_bytes
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.sent = 0
+        self.held: bytes | None = None
+        self.closed = False
+
+    async def push(self, payload: bytes) -> None:
+        if len(payload) > self.max_frame_bytes:
+            raise FrameTooLarge(
+                f"frame of {len(payload)} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte cap"
+            )
+        index = self.sent
+        self.sent += 1
+        if index in self.faults.drop:
+            return
+        delay = self.faults.latency + self.faults.extra_delay.get(index, 0.0)
+        if delay:
+            await asyncio.sleep(delay)
+        if index in self.faults.swap:
+            # Hold this frame; the next send releases it afterwards.
+            if self.held is not None:
+                self.queue.put_nowait(self.held)
+            self.held = payload
+            return
+        self.queue.put_nowait(payload)
+        if self.held is not None:
+            self.queue.put_nowait(self.held)
+            self.held = None
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self.held is not None:
+            self.queue.put_nowait(self.held)
+            self.held = None
+        self.queue.put_nowait(None)  # EOF sentinel
+
+
+class LoopbackTransport(Transport):
+    """One side of an in-memory transport pair (see :func:`loopback_pair`)."""
+
+    def __init__(self, outgoing: _LoopbackEnd, incoming: _LoopbackEnd, name: str) -> None:
+        self._outgoing = outgoing
+        self._incoming = incoming
+        self._name = name
+
+    async def send(self, payload: bytes) -> None:
+        if self._outgoing.closed:
+            raise ConnectionClosed("transport is closed")
+        await self._outgoing.push(payload)
+
+    async def recv(self) -> bytes:
+        payload = await self._incoming.queue.get()
+        if payload is None:
+            self._incoming.queue.put_nowait(None)  # keep EOF sticky
+            raise ConnectionClosed("peer closed the loopback")
+        return payload
+
+    async def aclose(self) -> None:
+        self._outgoing.close()
+        self._incoming.close()
+
+    @property
+    def peername(self) -> str:
+        return self._name
+
+
+def loopback_pair(
+    a_to_b: FaultSchedule | None = None,
+    b_to_a: FaultSchedule | None = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> tuple[LoopbackTransport, LoopbackTransport]:
+    """An in-memory duplex pair with optional per-direction fault schedules."""
+    forward = _LoopbackEnd(a_to_b or FaultSchedule(), max_frame_bytes)
+    backward = _LoopbackEnd(b_to_a or FaultSchedule(), max_frame_bytes)
+    return (
+        LoopbackTransport(forward, backward, "loopback-a"),
+        LoopbackTransport(backward, forward, "loopback-b"),
+    )

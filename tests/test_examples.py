@@ -30,6 +30,7 @@ def load_example(name: str):
         "anonymous_browsing",
         "file_sharing",
         "microblog_churn",
+        "networked_demo",
         "scaling_study",
     ],
 )
@@ -43,6 +44,14 @@ def test_quickstart_runs_reduced(capsys):
     assert module.main(["--clients", "6", "--servers", "2"]) == 0
     out = capsys.readouterr().out
     assert "delivered after" in out
+    assert "meet at the fountain at noon" in out
+
+
+def test_networked_demo_runs_reduced(capsys):
+    module = load_example("networked_demo")
+    assert module.main(["--clients", "5", "--servers", "2", "--rounds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "asyncio TCP nodes" in out
     assert "meet at the fountain at noon" in out
 
 
