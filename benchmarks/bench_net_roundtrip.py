@@ -80,12 +80,14 @@ def test_bench_modes(num_clients, capsys):
             mode=mode,
         ) as session:
             records, elapsed = _drive(session, num_clients)
+            snapshot = session.metrics()
         assert records == baseline_records, f"{mode} outputs diverged"
         row[mode] = {
             "seconds": round(elapsed, 4),
             "rounds_per_sec": round(ROUNDS / elapsed, 2),
             "round_latency_ms": round(elapsed / ROUNDS * 1e3, 2),
             "overhead_vs_in_process": round(elapsed / baseline_s, 2),
+            "telemetry": snapshot,
         }
     _REPORT[f"clients_{num_clients}"] = {
         "servers": NUM_SERVERS,
@@ -135,6 +137,7 @@ def test_bench_subprocess_round_latency(capsys):
         t0 = time.perf_counter()
         records = [session.run_round() for _ in range(ROUNDS)]
         elapsed = time.perf_counter() - t0
+        snapshot = session.metrics()
     assert records == baseline_records
     _REPORT["subprocess_8_clients"] = {
         "servers": NUM_SERVERS,
@@ -144,6 +147,7 @@ def test_bench_subprocess_round_latency(capsys):
         "seconds": round(elapsed, 4),
         "rounds_per_sec": round(ROUNDS / elapsed, 2),
         "round_latency_ms": round(elapsed / ROUNDS * 1e3, 2),
+        "telemetry": snapshot,
     }
     with capsys.disabled():
         print()

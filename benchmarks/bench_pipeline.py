@@ -164,6 +164,9 @@ def test_bench_pipeline_pure_local(capsys):
     pipe = None
     for _ in range(3):
         session = _build(num_servers, num_clients, rounds, message_bytes, slot)
+        # Telemetry rides along: span bookkeeping is clock reads and list
+        # appends, noise next to the modexp-heavy rounds being timed.
+        session.enable_telemetry()
         pipe = PipelinedSession(session, window=4)
         secrets = {s for c in session.clients for s in c.secrets}
         t0 = time.perf_counter()
@@ -187,6 +190,7 @@ def test_bench_pipeline_pure_local(capsys):
         "critical_path_speedup": round(critical_speedup, 2),
         "total_speedup_incl_prefetch": round(total_speedup, 2),
         "prefetch": pipe.prefetcher.stats(),
+        "telemetry": pipe.session.metrics(),
     }
     with capsys.disabled():
         print()

@@ -7,13 +7,15 @@ asyncio TCP socket (or as spawned operating-system processes with
 server, servers exchange inventory/commit/reveal/signature envelopes
 peer to peer, and certified outputs broadcast back — the same bytes the
 in-process session produces, now crossing actual sockets.  Prints
-per-round wall-clock latency.
+per-round wall-clock latency from the session tracer plus the merged
+cross-process phase breakdown (paper §6 style).
 """
 
 import argparse
-import time
+import json
 
 from repro.net.runner import NetworkedSession
+from repro.obs.export import phase_table, snapshot_json
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,6 +28,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="spawn every node as a real subprocess instead of asyncio tasks",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the merged metrics snapshot as JSON (feed to repro.obs.report)",
+    )
     args = parser.parse_args(argv)
 
     mode = "subprocess" if args.processes else "tcp"
@@ -35,9 +42,11 @@ def main(argv: list[str] | None = None) -> int:
         seed=2012,
         mode=mode,
     ) as session:
-        t0 = time.perf_counter()
+        tracer = session.tracer
+        clock = tracer.clock
+        t0 = clock()
         session.setup()
-        setup_s = time.perf_counter() - t0
+        setup_s = clock() - t0
         print(
             f"{args.servers} servers + {args.clients} clients up as "
             f"{'processes' if args.processes else 'asyncio TCP nodes'}; "
@@ -50,9 +59,15 @@ def main(argv: list[str] | None = None) -> int:
 
         print(f"\n{'round':>5} {'status':>10} {'participants':>13} {'latency':>9}")
         for _ in range(args.rounds):
-            t0 = time.perf_counter()
+            before = len(tracer.events)
             record = session.run_round()
-            latency_ms = (time.perf_counter() - t0) * 1e3
+            # The coordinator tracer timed the round span for us.
+            round_spans = [
+                event
+                for event in tracer.events[before:]
+                if event.name == "round"
+            ]
+            latency_ms = round_spans[-1].duration * 1e3
             print(
                 f"{record.round_number:>5} {record.status.value:>10} "
                 f"{record.participation:>13} {latency_ms:>7.1f}ms"
@@ -63,6 +78,17 @@ def main(argv: list[str] | None = None) -> int:
         for round_number, slot, message in delivered:
             print(f"  round {round_number}, slot {slot}: {message.decode()}")
         assert any(b"fountain" in m for _, _, m in delivered)
+
+        snapshot = session.metrics()
+        print("\nphase breakdown across all nodes (§6 style):")
+        print(phase_table(snapshot))
+        sent = snapshot["counters"].get("net.sent.bytes.total", 0)
+        frames = snapshot["counters"].get("net.sent.frames.total", 0)
+        print(f"\nnode traffic: {frames} frames, {sent} bytes")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(snapshot_json(snapshot))
+            print(f"metrics snapshot written to {args.metrics_out}")
     return 0
 
 

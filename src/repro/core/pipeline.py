@@ -152,11 +152,21 @@ class PipelinedSession:
         self.window = window
         self.latency = latency or PhaseLatency()
         self.counters = PipelineCounters()
+        # Telemetry rides on the session's registry/tracer (null sinks when
+        # the session has telemetry disabled).
+        self.registry = session.registry
+        self.tracer = session.tracer
+        self.registry.gauge("pipeline.window").set_max(window)
         self.prefetcher: PadPrefetcher | None = None
         if prefetch:
             pairs = session.definition.num_clients * session.definition.num_servers
+            # Share the session registry when live so pad stats land in the
+            # merged view; the prefetcher falls back to a private registry
+            # otherwise (its hit/miss counts must work regardless).
             self.prefetcher = PadPrefetcher(
-                window=window, max_entries=max(4096, 2 * window * pairs)
+                window=window,
+                max_entries=max(4096, 2 * window * pairs),
+                registry=session.registry if session.registry.enabled else None,
             )
         for node in (*session.clients, *session.servers):
             node.prefetcher = self.prefetcher
@@ -216,6 +226,7 @@ class PipelinedSession:
                 online = plan[len(records) + len(inflight)]
                 inflight.append(self._issue(session.round_number, online))
                 session.round_number += 1
+            self.registry.gauge("pipeline.inflight").set_max(len(inflight))
             entry = inflight.popleft()
             record = self._complete(entry)
             reason = self._validate(entry, record, inflight)
@@ -229,8 +240,10 @@ class PipelinedSession:
             records.append(record)
             if record.completed:
                 self.counters.rounds_completed += 1
+                self.registry.counter("session.rounds_completed").inc()
             else:
                 self.counters.rounds_failed += 1
+                self.registry.counter("session.rounds_failed").inc()
             if record.shuffle_requested:
                 # Same position as the lockstep driver: the accusation
                 # shuffle runs right after the requesting round (with the
@@ -252,34 +265,36 @@ class PipelinedSession:
             online = set(range(definition.num_clients))
         submitters = sorted(i for i in online if i not in session.expelled)
         layout = session.servers[0].scheduler.current_layout()
-        if self.prefetcher is not None:
-            # Ahead-of-need derivation: this runs while older rounds are
-            # still mid-exchange, so the produce/compute calls below (and
-            # the servers' later compute phases) are pure cache hits.
-            secrets = {
-                secret
-                for i in submitters
-                for secret in session.clients[i].secrets
-            }
-            self.prefetcher.prefetch(
-                secrets, round_number, layout.total_bytes, rounds=1
-            )
-        snapshots = [client.snapshot_state() for client in session.clients]
-        applied_at = self._applied_offset + len(self._applied)
-        for server in session.servers:
-            server.open_round(round_number)
-        batches: list[list] = [[] for _ in range(definition.num_servers)]
-        sent_records: dict[int, _SentRecord] = {}
-        for i in submitters:
-            batches[definition.upstream_server(i)].append(
-                session.clients[i].produce_ciphertext(round_number)
-            )
-            record = session.clients[i].speculate_delivery(round_number)
-            if record is not None:
-                sent_records[i] = record
-        for upstream, batch in zip(session.servers, batches):
-            if batch:
-                upstream.accept_ciphertexts(batch)
+        with self.tracer.span("phase", name="build", round=round_number):
+            if self.prefetcher is not None:
+                # Ahead-of-need derivation: this runs while older rounds are
+                # still mid-exchange, so the produce/compute calls below (and
+                # the servers' later compute phases) are pure cache hits.
+                secrets = {
+                    secret
+                    for i in submitters
+                    for secret in session.clients[i].secrets
+                }
+                self.prefetcher.prefetch(
+                    secrets, round_number, layout.total_bytes, rounds=1
+                )
+            snapshots = [client.snapshot_state() for client in session.clients]
+            applied_at = self._applied_offset + len(self._applied)
+            for server in session.servers:
+                server.open_round(round_number)
+            batches: list[list] = [[] for _ in range(definition.num_servers)]
+            sent_records: dict[int, _SentRecord] = {}
+            for i in submitters:
+                batches[definition.upstream_server(i)].append(
+                    session.clients[i].produce_ciphertext(round_number)
+                )
+                record = session.clients[i].speculate_delivery(round_number)
+                if record is not None:
+                    sent_records[i] = record
+        with self.tracer.span("phase", name="submit", round=round_number):
+            for upstream, batch in zip(session.servers, batches):
+                if batch:
+                    upstream.accept_ciphertexts(batch)
         # Virtual clock: the submit lane serializes round issues, gated by
         # the window (round r cannot enter submission before round r-W
         # fully completed) and any drain barrier.
@@ -307,40 +322,53 @@ class PipelinedSession:
         session = self.session
         servers = session.servers
         r = entry.round_number
-        inventories = [server.make_inventory(r) for server in servers]
-        participations = {
-            server.receive_inventories(inventories) for server in servers
-        }
-        if len(participations) != 1:
-            raise ProtocolError("servers disagree on the participation count")
-        participation = participations.pop()
+        with self.tracer.span("round", round=r) as round_span:
+            with round_span.child("phase", name="inventory"):
+                inventories = [server.make_inventory(r) for server in servers]
+                participations = {
+                    server.receive_inventories(inventories) for server in servers
+                }
+                if len(participations) != 1:
+                    raise ProtocolError(
+                        "servers disagree on the participation count"
+                    )
+                participation = participations.pop()
+                participation_ok = all(
+                    server.participation_ok(r) for server in servers
+                )
 
-        if not all(server.participation_ok(r) for server in servers):
-            for server in servers:
-                server.abandon_round(r)
-            self._charge(entry, failed=True)
-            return RoundRecord(
-                round_number=r,
-                status=RoundStatus.FAILED,
-                participation=participation,
-                output=None,
-            )
+            if not participation_ok:
+                for server in servers:
+                    server.abandon_round(r)
+                self._charge(entry, failed=True)
+                return RoundRecord(
+                    round_number=r,
+                    status=RoundStatus.FAILED,
+                    participation=participation,
+                    output=None,
+                )
 
-        commitments = [server.compute_ciphertext(r) for server in servers]
-        for server in servers:
-            server.receive_commitments(commitments)
-        reveals = [server.reveal_ciphertext(r) for server in servers]
-        cleartexts = {server.receive_reveals(reveals) for server in servers}
-        if len(cleartexts) != 1:
-            raise ProtocolError("servers disagree on the combined cleartext")
-        signatures = [server.sign_output(r) for server in servers]
-        outputs = [server.assemble_output(signatures) for server in servers]
-        output = outputs[0]
-        shuffle_requested = False
-        for server in servers:
-            for content in server.finish_round(output):
-                if content.shuffle_request:
-                    shuffle_requested = True
+            with round_span.child("phase", name="commit"):
+                commitments = [server.compute_ciphertext(r) for server in servers]
+                for server in servers:
+                    server.receive_commitments(commitments)
+            with round_span.child("phase", name="reveal"):
+                reveals = [server.reveal_ciphertext(r) for server in servers]
+                cleartexts = {server.receive_reveals(reveals) for server in servers}
+                if len(cleartexts) != 1:
+                    raise ProtocolError(
+                        "servers disagree on the combined cleartext"
+                    )
+            with round_span.child("phase", name="verify"):
+                signatures = [server.sign_output(r) for server in servers]
+                outputs = [server.assemble_output(signatures) for server in servers]
+                output = outputs[0]
+            with round_span.child("phase", name="output"):
+                shuffle_requested = False
+                for server in servers:
+                    for content in server.finish_round(output):
+                        if content.shuffle_request:
+                            shuffle_requested = True
         self._charge(entry, failed=False)
         return RoundRecord(
             round_number=r,
@@ -420,6 +448,8 @@ class PipelinedSession:
         session = self.session
         self.counters.drains += 1
         self.counters.speculative_rounds_discarded += len(inflight)
+        self.registry.counter("pipeline.drains").inc()
+        self.registry.counter("pipeline.rounds_discarded").inc(len(inflight))
         for stale in inflight:
             for server in session.servers:
                 server.discard_round(stale.round_number)

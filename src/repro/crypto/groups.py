@@ -28,6 +28,7 @@ from functools import lru_cache
 
 from repro.crypto import constants
 from repro.errors import CryptoError
+from repro.obs import metrics as _metrics
 
 #: Window width (bits) for fixed-base precomputation.  Measured in CPython:
 #: w=5 gives ~4x over ``pow`` for both 256-bit and 2048-bit moduli while the
@@ -101,6 +102,10 @@ def _fixed_base_table(p: int, q: int, base: int) -> tuple[tuple[int, ...], ...]:
     full round's hot-key working set (tens of keys) stay resident; callers
     must only route *recurring* bases through :meth:`SchnorrGroup.exp_fixed`.
     """
+    # Only cache misses reach this body; exp_fixed counts every call, so
+    # table hits = crypto.fixed_base.exps - crypto.fixed_base.table_builds.
+    if _metrics.GLOBAL.enabled:
+        _metrics.GLOBAL.counter("crypto.fixed_base.table_builds").inc()
     w = FIXED_BASE_WINDOW
     blocks = (q.bit_length() + w - 1) // w
     table = []
@@ -180,6 +185,8 @@ class SchnorrGroup:
         only use this for bases that recur (the generator, server public
         keys, combined shuffle keys), not for per-proof transient values.
         """
+        if _metrics.GLOBAL.enabled:
+            _metrics.GLOBAL.counter("crypto.fixed_base.exps").inc()
         table = _fixed_base_table(self.p, self.q, base)
         e %= self.q
         acc = 1
@@ -231,6 +238,12 @@ class SchnorrGroup:
             if base == 1 or exponent == 0:
                 continue
             merged[base] = (merged.get(base, 0) + exponent) % q
+
+        if _metrics.GLOBAL.enabled:
+            _metrics.GLOBAL.counter("crypto.multiexp.calls").inc()
+            _metrics.GLOBAL.histogram(
+                "crypto.multiexp.size", _metrics.SIZE_EDGES
+            ).observe(len(merged))
 
         acc = 1
         transient: list[tuple[int, int]] = []

@@ -26,6 +26,8 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 
+from repro.obs import metrics as _metrics
+
 _DOMAIN_PAIR = b"dissent.pair-stream.v1"
 _DOMAIN_SEED = b"dissent.seed-stream.v1"
 
@@ -122,7 +124,9 @@ class PadPrefetcher:
     call :meth:`clear` on session teardown.
     """
 
-    def __init__(self, window: int = 4, max_entries: int = 4096) -> None:
+    def __init__(
+        self, window: int = 4, max_entries: int = 4096, registry=None
+    ) -> None:
         if window < 1:
             raise ValueError("prefetch window must be at least 1")
         if max_entries < 1:
@@ -130,9 +134,16 @@ class PadPrefetcher:
         self.window = window
         self.max_entries = max_entries
         self._pads: OrderedDict[tuple[bytes, int], bytes] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.prefetched = 0
+        # Counts live on a metrics registry (``prng.pads.*``); a private
+        # registry when none is shared, so ``hits``/``misses`` below count
+        # even with session telemetry disabled (benchmarks rely on them).
+        if registry is None:
+            registry = _metrics.MetricsRegistry()
+        self.registry = registry
+        self._hits = registry.counter("prng.pads.hits")
+        self._misses = registry.counter("prng.pads.misses")
+        self._prefetched = registry.counter("prng.pads.prefetched")
+        self._cached_gauge = registry.gauge("prng.pads.cached")
 
     def prefetch(
         self,
@@ -158,7 +169,7 @@ class PadPrefetcher:
                     continue
                 self._store(key, pair_stream(secret, r, length))
                 derived += 1
-        self.prefetched += derived
+        self._prefetched.inc(derived)
         return derived
 
     def pair_stream(self, shared_secret: bytes, round_number: int, length: int) -> bytes:
@@ -166,10 +177,10 @@ class PadPrefetcher:
         key = (shared_secret, round_number)
         cached = self._pads.get(key)
         if cached is not None and len(cached) >= length:
-            self.hits += 1
+            self._hits.inc()
             self._pads.move_to_end(key)
             return cached[:length]
-        self.misses += 1
+        self._misses.inc()
         pad = pair_stream(shared_secret, round_number, length)
         self._store(key, pad)
         return pad
@@ -179,6 +190,7 @@ class PadPrefetcher:
         self._pads.move_to_end(key)
         while len(self._pads) > self.max_entries:
             self._pads.popitem(last=False)
+        self._cached_gauge.set_max(len(self._pads))
 
     def discard_before(self, round_number: int) -> None:
         """Drop pads for rounds older than ``round_number`` (completed)."""
@@ -189,6 +201,21 @@ class PadPrefetcher:
     def clear(self) -> None:
         """Drop every cached pad (session teardown hygiene)."""
         self._pads.clear()
+
+    # Read-through views of the registry counters, preserving the original
+    # plain-attribute API (``fetcher.hits`` etc.).
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def prefetched(self) -> int:
+        return self._prefetched.value
 
     @property
     def hit_rate(self) -> float:

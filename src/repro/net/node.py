@@ -34,6 +34,7 @@ import importlib
 import json
 import random
 import sys
+import time
 
 from repro.core.client import DissentClient
 from repro.core.config import GroupDefinition
@@ -66,7 +67,9 @@ from repro.net.wire import (
     encode_evidence,
     encode_rebuttal,
     encode_round_output_body,
+    encode_telemetry_body,
 )
+from repro.obs import metrics as _obs
 from repro.util.serialization import pack_fields, unpack_fields
 
 #: The hub/orchestrator's reserved routing name.
@@ -97,6 +100,7 @@ K_ACC_OUTCOME = "acc-outcome"
 K_EVIDENCE_REQUEST = "evidence-request"
 K_DISCLOSURE_REQUEST = "disclosure-request"
 K_REBUT_REQUEST = "rebut-request"
+K_TELEMETRY = "telemetry"
 K_SHUTDOWN = "shutdown"
 
 #: Bound on envelopes buffered for rounds a node has not opened yet —
@@ -125,22 +129,39 @@ def _unpack_typed(body: bytes, spec: str, what: str) -> list:
 class NodeRuntime:
     """Shared dispatch loop: recv → decode → handle, with error isolation."""
 
-    def __init__(self, name: str, definition: GroupDefinition, transport: Transport) -> None:
+    def __init__(
+        self,
+        name: str,
+        definition: GroupDefinition,
+        transport: Transport,
+        registry=None,
+    ) -> None:
         self.name = name
         self.definition = definition
         self.group = definition.group
         self.transport = transport
         self._stopped = False
+        # Wire accounting sinks here (null = disabled); the clock is only
+        # read for metric timing, never for protocol decisions, so
+        # telemetry cannot perturb protocol bytes.
+        self.registry = registry if registry is not None else _obs.NULL_REGISTRY
+        self._clock = time.monotonic
 
     # -- plumbing ------------------------------------------------------
 
     async def _send(self, to: str, kind: str, seq: int, body: bytes) -> None:
         from repro.net.wire import encode_routed
 
-        await self.transport.send(encode_routed(to, self.name, kind, seq, body))
+        payload = encode_routed(to, self.name, kind, seq, body)
+        self.registry.counter("net.sent.frames.total").inc()
+        self.registry.counter("net.sent.bytes.total").inc(len(payload))
+        await self.transport.send(payload)
 
     async def _send_envelope(self, to: str, envelope: SignedEnvelope) -> None:
-        await self._send(to, K_ENVELOPE, 0, encode_envelope(self.group, envelope))
+        body = encode_envelope(self.group, envelope)
+        self.registry.counter(f"net.sent.frames.{envelope.msg_type}").inc()
+        self.registry.counter(f"net.sent.bytes.{envelope.msg_type}").inc(len(body))
+        await self._send(to, K_ENVELOPE, 0, body)
 
     async def _report(self, exc: Exception) -> None:
         """Tell the coordinator something went wrong; never raises."""
@@ -174,9 +195,12 @@ class NodeRuntime:
                 # The stream position is gone; nothing to salvage.
                 await self._report(exc)
                 break
+            self.registry.counter("net.recv.frames.total").inc()
+            self.registry.counter("net.recv.bytes.total").inc(len(payload))
             try:
                 frame = decode_routed(payload)
             except WireDecodeError as exc:
+                self.registry.counter("net.decode_errors").inc()
                 await self._report(exc)
                 continue
             await self._dispatch(frame)
@@ -186,6 +210,8 @@ class NodeRuntime:
         try:
             result = await self.handle(frame.kind, frame.body)
         except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            if isinstance(exc, WireDecodeError):
+                self.registry.counter("net.decode_errors").inc()
             if frame.seq:
                 await self._send(
                     frame.sender,
@@ -203,8 +229,17 @@ class NodeRuntime:
         if kind == K_SHUTDOWN:
             self._stopped = True
             return b""
+        if kind == K_TELEMETRY:
+            # Ship this node's registry snapshot to the coordinator; a
+            # disabled registry snapshots to ``{}`` and merges as a no-op.
+            return encode_telemetry_body(self.registry.snapshot())
         if kind == K_ENVELOPE:
-            await self.handle_envelope(decode_envelope(self.group, body))
+            envelope = decode_envelope(self.group, body)
+            self.registry.counter(f"net.recv.frames.{envelope.msg_type}").inc()
+            self.registry.counter(f"net.recv.bytes.{envelope.msg_type}").inc(
+                len(body)
+            )
+            await self.handle_envelope(envelope)
             return None
         raise WireDecodeError(f"{self.name}: unhandled frame kind {kind!r}")
 
@@ -231,13 +266,19 @@ class _NetRound:
         self.revealed = False
         self.combined = False
         self.signed = False
+        #: Telemetry timestamps (monotonic): round open and the last phase
+        #: boundary; metric-only — never consulted by the phase machine.
+        self.opened_at = 0.0
+        self.last_mark = 0.0
 
 
 class ServerNode(NodeRuntime):
     """One anytrust server as a message-driven daemon."""
 
-    def __init__(self, server: DissentServer, transport: Transport) -> None:
-        super().__init__(server.name, server.definition, transport)
+    def __init__(
+        self, server: DissentServer, transport: Transport, registry=None
+    ) -> None:
+        super().__init__(server.name, server.definition, transport, registry)
         self.server = server
         self.index = server.index
         self._rounds: dict[int, _NetRound] = {}
@@ -307,15 +348,28 @@ class ServerNode(NodeRuntime):
             if self.definition.upstream_server(i) == self.index
         )
         state = _NetRound(round_number, expected)
+        state.opened_at = state.last_mark = self._clock()
         self._rounds[round_number] = state
         for envelope in self._early.pop(round_number, []):
             self._early_count -= 1
+            self.registry.counter("net.early.flushed").inc()
+            # Arrived before the round opened: one-way latency relative to
+            # round open clamps to zero.
+            self.registry.histogram(f"net.arrival.{envelope.msg_type}").observe(0.0)
             try:
                 self._store(state, envelope)
             except DissentError as exc:
                 # One bad buffered envelope must not abort the round.
                 await self._report(exc)
         await self._advance(state)
+
+    def _mark_phase(self, state: _NetRound, phase: str) -> None:
+        """Credit the time since the last boundary to ``phase``."""
+        now = self._clock()
+        self.registry.histogram(f"span.phase.{phase}").observe(
+            now - state.last_mark
+        )
+        state.last_mark = now
 
     # -- envelope handlers ---------------------------------------------
 
@@ -333,17 +387,25 @@ class ServerNode(NodeRuntime):
         state = self._rounds.get(envelope.round_number)
         if state is None:
             if envelope.round_number <= self._completed_through:
-                return  # straggler for a finished round: harmless, drop
+                # Straggler for a finished round: harmless, drop.
+                self.registry.counter("net.stragglers_dropped").inc()
+                return
             # Legitimate out-of-order arrival: a peer (or client) raced our
             # round-begin.  Buffer, bounded.
             if self._early_count >= _MAX_EARLY_ENVELOPES:
+                self.registry.counter("net.early.dropped").inc()
                 raise ProtocolError(
                     f"{self.name}: early-envelope buffer full, dropping "
                     f"round {envelope.round_number} {envelope.msg_type}"
                 )
             self._early.setdefault(envelope.round_number, []).append(envelope)
             self._early_count += 1
+            self.registry.counter("net.early.buffered").inc()
+            self.registry.gauge("net.early.depth").set_max(self._early_count)
             return
+        self.registry.histogram(f"net.arrival.{envelope.msg_type}").observe(
+            self._clock() - state.opened_at
+        )
         self._store(state, envelope)
         await self._advance(state)
 
@@ -370,7 +432,9 @@ class ServerNode(NodeRuntime):
         """Advance the straggler watermark and purge its early buffers."""
         self._completed_through = max(self._completed_through, round_number)
         for stale in [r for r in self._early if r <= self._completed_through]:
-            self._early_count -= len(self._early.pop(stale))
+            purged = len(self._early.pop(stale))
+            self._early_count -= purged
+            self.registry.counter("net.early.purged").inc(purged)
 
     async def _broadcast_peers(self, envelope: SignedEnvelope) -> None:
         for j in range(self.definition.num_servers):
@@ -398,6 +462,7 @@ class ServerNode(NodeRuntime):
                 own = self.server.make_inventory(state.round_number)
                 state.inventories[self.index] = own
                 state.inventory_made = True
+                self._mark_phase(state, "submit")
                 await self._broadcast_peers(own)
                 progress = True
             if (
@@ -409,6 +474,7 @@ class ServerNode(NodeRuntime):
                 participation = self.server.receive_inventories(ordered)
                 ok = self.server.participation_ok()
                 state.inventory_digested = True
+                self._mark_phase(state, "inventory")
                 await self._send(
                     COORDINATOR,
                     K_INVENTORY_STATUS,
@@ -430,6 +496,7 @@ class ServerNode(NodeRuntime):
                 ordered = [state.commits[j] for j in range(num_servers)]
                 self.server.receive_commitments(ordered)
                 state.commitments_digested = True
+                self._mark_phase(state, "commit")
                 own = self.server.reveal_ciphertext(state.round_number)
                 state.reveals[self.index] = own
                 state.revealed = True
@@ -443,6 +510,7 @@ class ServerNode(NodeRuntime):
                 ordered = [state.reveals[j] for j in range(num_servers)]
                 self.server.receive_reveals(ordered)
                 state.combined = True
+                self._mark_phase(state, "reveal")
                 own = self.server.signature_envelope(state.round_number)
                 state.signatures[self.index] = own
                 state.signed = True
@@ -455,6 +523,7 @@ class ServerNode(NodeRuntime):
             ):
                 ordered = [state.signatures[j] for j in range(num_servers)]
                 output = self.server.receive_signature_envelopes(ordered)
+                self._mark_phase(state, "verify")
                 contents = self.server.finish_round(output)
                 shuffle_requested = any(c.shuffle_request for c in contents)
                 out_envelope = self.server.output_envelope(output)
@@ -463,6 +532,10 @@ class ServerNode(NodeRuntime):
                         await self._send_envelope(
                             self.definition.client_name(i), out_envelope
                         )
+                self._mark_phase(state, "output")
+                self.registry.histogram("span.round").observe(
+                    self._clock() - state.opened_at
+                )
                 del self._rounds[state.round_number]
                 self._mark_completed(state.round_number)
                 await self._send(
@@ -481,8 +554,10 @@ class ServerNode(NodeRuntime):
 class ClientNode(NodeRuntime):
     """One client as a message-driven daemon."""
 
-    def __init__(self, client: DissentClient, transport: Transport) -> None:
-        super().__init__(client.name, client.definition, transport)
+    def __init__(
+        self, client: DissentClient, transport: Transport, registry=None
+    ) -> None:
+        super().__init__(client.name, client.definition, transport, registry)
         self.client = client
         self.index = client.index
 
@@ -505,7 +580,11 @@ class ClientNode(NodeRuntime):
         if kind == K_ROUND_BEGIN:
             round_number, packed = _unpack_typed(body, "ib", "round-begin")
             if self.index in decode_int_list(packed):
+                started = self._clock()
                 envelope = self.client.produce_ciphertext(round_number)
+                self.registry.histogram("span.phase.build").observe(
+                    self._clock() - started
+                )
                 upstream = self.definition.upstream_server(self.index)
                 await self._send_envelope(
                     self.definition.server_name(upstream), envelope
@@ -595,20 +674,31 @@ def node_from_config(config: dict, transport: Transport):
     rng = random.Random(config["rng_seed"])
     index = config["index"]
     kwargs = config.get("node_kwargs") or {}
+    registry = None
+    if config.get("telemetry"):
+        # One node per process here, so the node's registry doubles as the
+        # process-global sink: crypto hot-path counters from this process
+        # ship back to the coordinator in the same snapshot.
+        registry = _obs.MetricsRegistry()
+        _obs.set_global_registry(registry)
     if config["role"] == "server":
         factory = (
             _resolve_class(config["node_class"])
             if config.get("node_class")
             else DissentServer
         )
-        return ServerNode(factory(definition, index, key, rng, **kwargs), transport)
+        return ServerNode(
+            factory(definition, index, key, rng, **kwargs), transport, registry
+        )
     if config["role"] == "client":
         factory = (
             _resolve_class(config["node_class"])
             if config.get("node_class")
             else DissentClient
         )
-        return ClientNode(factory(definition, index, key, rng, **kwargs), transport)
+        return ClientNode(
+            factory(definition, index, key, rng, **kwargs), transport, registry
+        )
     raise ValueError(f"unknown node role {config['role']!r}")
 
 

@@ -95,6 +95,7 @@ from repro.net.node import (
     K_SCHEDULE,
     K_SHUTDOWN,
     K_STATUS_REQUEST,
+    K_TELEMETRY,
     ServerNode,
 )
 from repro.net.transport import connect_tcp, loopback_pair, serve_tcp
@@ -105,9 +106,16 @@ from repro.net.wire import (
     decode_rebuttal,
     decode_round_output_body,
     decode_routed,
+    decode_telemetry_body,
     encode_int_list,
     encode_int_pairs,
     encode_routed,
+)
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
 )
 from repro.util.serialization import pack_fields, unpack_fields
 
@@ -242,6 +250,7 @@ class NetworkedSession:
         server_factories: dict | None = None,
         client_factories: dict | None = None,
         timeout: float = DEFAULT_TIMEOUT,
+        telemetry: bool | None = None,
     ) -> None:
         if mode not in MODES:
             raise ProtocolError(f"mode must be one of {MODES}, got {mode!r}")
@@ -249,6 +258,16 @@ class NetworkedSession:
         self.mode = mode
         self.rng = rng
         self.timeout = timeout
+        # Telemetry only ever reads clocks and bumps counters, so the
+        # default is on: the merged cross-process view is the whole point
+        # of running networked.  Pass False to strip it entirely.
+        self.telemetry = True if telemetry is None else bool(telemetry)
+        if self.telemetry:
+            self.registry = MetricsRegistry()
+            self.tracer = Tracer(registry=self.registry)
+        else:
+            self.registry = NULL_REGISTRY
+            self.tracer = NULL_TRACER
         self.round_number = 0
         self.records: list[RoundRecord] = []
         self.expelled: set[int] = set()
@@ -300,6 +319,7 @@ class NetworkedSession:
         server_factories: dict | None = None,
         client_factories: dict | None = None,
         timeout: float = DEFAULT_TIMEOUT,
+        telemetry: bool | None = None,
     ) -> "NetworkedSession":
         """Fresh keys and node seeds, derived exactly as
         :meth:`DissentSession.build` derives them — the same ``seed``
@@ -319,6 +339,7 @@ class NetworkedSession:
             server_factories=server_factories,
             client_factories=client_factories,
             timeout=timeout,
+            telemetry=telemetry,
         )
 
     def __enter__(self) -> "NetworkedSession":
@@ -407,12 +428,24 @@ class NetworkedSession:
 
         self._tcp_server, self._port = await serve_tcp(handler, "127.0.0.1", 0)
 
+    def _node_registry(self) -> MetricsRegistry | None:
+        """A fresh per-node registry, or None (→ null) when disabled."""
+        return MetricsRegistry() if self.telemetry else None
+
     async def _start_inprocess_nodes(self, tcp: bool) -> None:
         nodes = []
         for j in range(self.definition.num_servers):
-            nodes.append(lambda t, j=j: ServerNode(self._make_server(j), t))
+            nodes.append(
+                lambda t, j=j: ServerNode(
+                    self._make_server(j), t, registry=self._node_registry()
+                )
+            )
         for i in range(self.definition.num_clients):
-            nodes.append(lambda t, i=i: ClientNode(self._make_client(i), t))
+            nodes.append(
+                lambda t, i=i: ClientNode(
+                    self._make_client(i), t, registry=self._node_registry()
+                )
+            )
         for make_node in nodes:
             if tcp:
                 transport = await connect_tcp("127.0.0.1", self._port)
@@ -437,6 +470,7 @@ class NetworkedSession:
             "rng_seed": seeds[index],
             "host": "127.0.0.1",
             "port": self._port,
+            "telemetry": bool(self.telemetry),
         }
         if index in factories:
             factory, kwargs = factories[index]
@@ -565,7 +599,11 @@ class NetworkedSession:
         transport = self._hub.transports.get(to)
         if transport is None:
             raise ProtocolError(f"no transport registered for {to!r}")
-        await transport.send(encode_routed(to, COORDINATOR, kind, seq, body))
+        payload = encode_routed(to, COORDINATOR, kind, seq, body)
+        if self.registry.enabled:
+            self.registry.counter("net.coord.sent.frames").inc()
+            self.registry.counter("net.coord.sent.bytes").inc(len(payload))
+        await transport.send(payload)
 
     async def _request(self, to: str, kind: str, body: bytes) -> bytes:
         assert self._loop is not None
@@ -712,71 +750,85 @@ class NetworkedSession:
             online = set(range(definition.num_clients))
         submitters = sorted(i for i in online if i not in self.expelled)
         begin_body = pack_fields(r, encode_int_list(submitters))
-        # Servers first so their round state opens before ciphertexts land
-        # (late arrivals would only be buffered, but why make them late).
-        await self._broadcast(self._server_names(), K_ROUND_BEGIN, begin_body)
-        await self._broadcast(self._client_names(), K_ROUND_BEGIN, begin_body)
+        with self.tracer.span("round", round=r):
+            # Servers first so their round state opens before ciphertexts
+            # land (late arrivals would only be buffered, but why make
+            # them late).
+            await self._broadcast(self._server_names(), K_ROUND_BEGIN, begin_body)
+            await self._broadcast(self._client_names(), K_ROUND_BEGIN, begin_body)
 
-        statuses = await self._gather(
-            K_INVENTORY_STATUS, r, definition.num_servers
-        )
-        participations = set()
-        all_ok = True
-        for frame in statuses:
-            _, participation, ok = unpack_fields(frame.body)
-            participations.add(participation)
-            all_ok = all_ok and bool(ok)
-        if len(participations) != 1:
-            raise ProtocolError("servers disagree on the participation count")
-        participation = participations.pop()
+            statuses = await self._gather(
+                K_INVENTORY_STATUS, r, definition.num_servers
+            )
+            participations = set()
+            all_ok = True
+            for frame in statuses:
+                _, participation, ok = unpack_fields(frame.body)
+                participations.add(participation)
+                all_ok = all_ok and bool(ok)
+            if len(participations) != 1:
+                raise ProtocolError(
+                    "servers disagree on the participation count"
+                )
+            participation = participations.pop()
 
-        if not all_ok:
-            # §3.7 hard timeout: abandon, publish the fresh count.
-            abandon_body = pack_fields(r)
-            await asyncio.gather(
-                *[
-                    self._request(name, K_ROUND_ABANDON, abandon_body)
-                    for name in self._server_names()
-                ]
+            if not all_ok:
+                # §3.7 hard timeout: abandon, publish the fresh count.
+                abandon_body = pack_fields(r)
+                await asyncio.gather(
+                    *[
+                        self._request(name, K_ROUND_ABANDON, abandon_body)
+                        for name in self._server_names()
+                    ]
+                )
+                failed_body = pack_fields(r, participation)
+                await asyncio.gather(
+                    *[
+                        self._request(name, K_ROUND_FAILED, failed_body)
+                        for name in self._client_names()
+                    ]
+                )
+                record = RoundRecord(
+                    round_number=r,
+                    status=RoundStatus.FAILED,
+                    participation=participation,
+                    output=None,
+                )
+                self.records.append(record)
+                self.registry.counter("session.rounds_failed").inc()
+                return record
+
+            await self._broadcast(
+                self._server_names(), K_COMMIT_GO, pack_fields(r)
             )
-            failed_body = pack_fields(r, participation)
-            await asyncio.gather(
-                *[
-                    self._request(name, K_ROUND_FAILED, failed_body)
-                    for name in self._client_names()
-                ]
+            dones = await self._gather(K_ROUND_DONE, r, definition.num_servers)
+            await self._gather(K_ROUND_APPLIED, r, definition.num_clients)
+
+            output_blobs = set()
+            shuffle_requested = False
+            for frame in dones:
+                _, flag, blob = unpack_fields(frame.body)
+                shuffle_requested = shuffle_requested or bool(flag)
+                output_blobs.add(blob)
+            if len(output_blobs) != 1:
+                raise ProtocolError(
+                    "servers disagree on the combined cleartext"
+                )
+            output = decode_round_output_body(
+                definition.group, output_blobs.pop()
             )
+
             record = RoundRecord(
                 round_number=r,
-                status=RoundStatus.FAILED,
+                status=RoundStatus.COMPLETED,
                 participation=participation,
-                output=None,
+                output=output,
+                shuffle_requested=shuffle_requested,
             )
             self.records.append(record)
-            return record
-
-        await self._broadcast(self._server_names(), K_COMMIT_GO, pack_fields(r))
-        dones = await self._gather(K_ROUND_DONE, r, definition.num_servers)
-        await self._gather(K_ROUND_APPLIED, r, definition.num_clients)
-
-        output_blobs = set()
-        shuffle_requested = False
-        for frame in dones:
-            _, flag, blob = unpack_fields(frame.body)
-            shuffle_requested = shuffle_requested or bool(flag)
-            output_blobs.add(blob)
-        if len(output_blobs) != 1:
-            raise ProtocolError("servers disagree on the combined cleartext")
-        output = decode_round_output_body(definition.group, output_blobs.pop())
-
-        record = RoundRecord(
-            round_number=r,
-            status=RoundStatus.COMPLETED,
-            participation=participation,
-            output=output,
-            shuffle_requested=shuffle_requested,
-        )
-        self.records.append(record)
+        self.registry.counter("session.rounds_completed").inc()
+        if shuffle_requested:
+            self.registry.counter("session.shuffle_requests").inc()
         return record
 
     def run_rounds(
@@ -800,6 +852,13 @@ class NetworkedSession:
         return self._call(self._run_accusation_async())
 
     async def _run_accusation_async(self) -> list[TraceVerdict]:
+        with self.tracer.span("phase", name="blame"):
+            verdicts = await self._run_accusation_shuffle()
+        self.registry.counter("session.accusation_phases").inc()
+        self.registry.counter("session.trace_verdicts").inc(len(verdicts))
+        return verdicts
+
+    async def _run_accusation_shuffle(self) -> list[TraceVerdict]:
         definition = self.definition
         purpose = b"dissent.accusation-shuffle|" + definition.group_id()
         privates = []
@@ -937,6 +996,7 @@ class NetworkedSession:
 
     async def _expel_async(self, client_index: int) -> None:
         self.expelled.add(client_index)
+        self.registry.counter("session.expulsions").inc()
         body = pack_fields(client_index)
         await asyncio.gather(
             *[
@@ -948,6 +1008,32 @@ class NetworkedSession:
     # ------------------------------------------------------------------
     # Convenience for applications and tests
     # ------------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Merged telemetry snapshot across the coordinator and all nodes.
+
+        Each node (in-process or subprocess) ships its registry snapshot
+        over a ``telemetry`` control message; counters and histogram
+        buckets add, gauges keep their high-water mark.  With telemetry
+        disabled this returns the coordinator's empty snapshot without
+        touching the wire.
+        """
+        self._ensure_started()
+        return self._call(self._metrics_async())
+
+    async def _metrics_async(self) -> dict:
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self.registry.snapshot())
+        if self.telemetry:
+            replies = await asyncio.gather(
+                *[
+                    self._request(name, K_TELEMETRY, b"")
+                    for name in self._node_names()
+                ]
+            )
+            for reply in replies:
+                merged.merge_snapshot(decode_telemetry_body(reply))
+        return merged.snapshot()
 
     def post(self, client_index: int, message: bytes) -> None:
         """Queue an anonymous message from one client."""

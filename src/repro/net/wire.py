@@ -31,6 +31,7 @@ dispatch loop can reject adversarial bytes without crashing.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
@@ -579,3 +580,28 @@ def decode_int_pairs(data: bytes) -> dict[int, int]:
             raise WireDecodeError("int pair item malformed")
         result[_take(pair, 0, int, "int pair")] = _take(pair, 1, int, "int pair")
     return result
+
+
+def encode_telemetry_body(snapshot: Mapping) -> bytes:
+    """Body of the ``telemetry`` control reply: a registry snapshot.
+
+    Snapshots are nested dictionaries of counters, gauges, and histogram
+    states (:meth:`repro.obs.MetricsRegistry.snapshot`); canonical JSON
+    (sorted keys, no whitespace) keeps the encoding deterministic.
+    """
+    try:
+        return json.dumps(snapshot, sort_keys=True, separators=(",", ":")).encode()
+    except (TypeError, ValueError) as exc:
+        raise WireDecodeError(f"telemetry snapshot not JSON-encodable: {exc}")
+
+
+def decode_telemetry_body(body: bytes) -> dict:
+    try:
+        value = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireDecodeError(f"telemetry body is not valid JSON: {exc}")
+    if not isinstance(value, dict):
+        raise WireDecodeError(
+            f"telemetry body decodes to {type(value).__name__}, expected a dict"
+        )
+    return value

@@ -1,0 +1,60 @@
+"""Telemetry: metrics registry, span tracer, exporters, §6-style reports.
+
+Dependency-free (standard library only; imports nothing from the rest of
+``repro``), zero-cost when disabled (null variants), and deterministic
+(injectable clocks, no RNG) — recording can never perturb protocol bytes.
+"""
+
+from .metrics import (
+    LATENCY_EDGES_S,
+    NULL_REGISTRY,
+    SIZE_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    global_registry,
+    set_global_registry,
+    telemetry_env_enabled,
+)
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+)
+from .export import (
+    PHASE_ORDER,
+    events_ndjson,
+    phase_table,
+    render_table,
+    snapshot_json,
+)
+
+__all__ = [
+    "LATENCY_EDGES_S",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "PHASE_ORDER",
+    "SIZE_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "events_ndjson",
+    "global_registry",
+    "phase_table",
+    "render_table",
+    "set_global_registry",
+    "snapshot_json",
+    "telemetry_env_enabled",
+]

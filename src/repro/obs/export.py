@@ -1,0 +1,128 @@
+"""Exporters: JSON snapshot, human-readable tables, NDJSON event log.
+
+Everything here is a pure function over a registry snapshot (the plain
+dictionary from :meth:`MetricsRegistry.snapshot`) or a span-record list,
+so exports work equally on a live in-process registry, a merged
+cross-process view, or a snapshot loaded back from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+
+from .metrics import Histogram
+from .trace import SpanRecord
+
+#: Canonical phase ordering for the §6-style breakdown table; phases not
+#: listed here sort alphabetically after these.
+PHASE_ORDER = (
+    "build", "submit", "inventory", "commit", "reveal",
+    "verify", "certify", "output", "blame",
+)
+
+
+def snapshot_json(snapshot: Mapping, indent: int | None = 2) -> str:
+    """Stable JSON text for a snapshot (sorted keys, trailing newline)."""
+    return json.dumps(snapshot, sort_keys=True, indent=indent) + "\n"
+
+
+def events_ndjson(events: Iterable[SpanRecord]) -> str:
+    """Newline-delimited JSON, one compact object per finished span."""
+    lines = [
+        json.dumps(record.as_dict(), sort_keys=True, separators=(",", ":"))
+        for record in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _hydrate(name: str, state: Mapping) -> Histogram:
+    histogram = Histogram(name, tuple(state["edges"]))
+    histogram.merge(state)
+    return histogram
+
+
+def _phase_sort_key(phase: str):
+    try:
+        return (0, PHASE_ORDER.index(phase))
+    except ValueError:
+        return (1, phase)
+
+
+def phase_table(snapshot: Mapping, prefix: str = "span.phase.") -> str:
+    """Paper-style (§6) per-phase latency breakdown.
+
+    Rows come from every histogram named ``<prefix><phase>`` in the
+    snapshot; durations are reported in milliseconds with bucket-resolution
+    p50/p90 and exact mean/max.
+    """
+    rows = []
+    for name, state in sorted(snapshot.get("histograms", {}).items()):
+        if not name.startswith(prefix):
+            continue
+        phase = name[len(prefix):]
+        histogram = _hydrate(name, state)
+        if not histogram.count:
+            continue
+        rows.append((
+            phase,
+            histogram.count,
+            histogram.mean * 1e3,
+            histogram.quantile(0.5) * 1e3,
+            histogram.quantile(0.9) * 1e3,
+            (histogram.max or 0.0) * 1e3,
+        ))
+    if not rows:
+        return "(no phase timings recorded)"
+    rows.sort(key=lambda row: _phase_sort_key(row[0]))
+    header = ("phase", "count", "mean ms", "p50 ms", "p90 ms", "max ms")
+    body = [
+        (phase, str(count), f"{mean:.3f}", f"{p50:.3f}", f"{p90:.3f}", f"{mx:.3f}")
+        for phase, count, mean, p50, p90, mx in rows
+    ]
+    return _render_rows(header, body)
+
+
+def render_table(snapshot: Mapping) -> str:
+    """Every counter, gauge, and histogram in one readable listing."""
+    sections = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        body = [(n, str(v)) for n, v in sorted(counters.items())]
+        sections.append("counters\n" + _render_rows(("name", "value"), body))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        body = [(n, str(v)) for n, v in sorted(gauges.items())]
+        sections.append("gauges\n" + _render_rows(("name", "value"), body))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        body = []
+        for name, state in sorted(histograms.items()):
+            histogram = _hydrate(name, state)
+            body.append((
+                name,
+                str(histogram.count),
+                f"{histogram.mean:.6g}",
+                f"{histogram.quantile(0.5):.6g}",
+                f"{histogram.quantile(0.9):.6g}",
+                f"{histogram.max:.6g}" if histogram.max is not None else "-",
+            ))
+        sections.append(
+            "histograms\n"
+            + _render_rows(("name", "count", "mean", "p50", "p90", "max"), body)
+        )
+    if not sections:
+        return "(empty snapshot)"
+    return "\n\n".join(sections)
+
+
+def _render_rows(header: tuple[str, ...], body: list[tuple[str, ...]]) -> str:
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(header), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in body)
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Render a paper-style §6 phase-breakdown report from a metrics snapshot.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.report METRICS_demo.json [--full]
+
+Reads a JSON registry snapshot (as written by ``snapshot_json`` or the
+networked demo's ``--metrics-out``) and prints the per-phase latency
+table; ``--full`` appends the complete counter/gauge/histogram listing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .export import phase_table, render_table
+
+USAGE = "usage: python -m repro.obs.report SNAPSHOT.json [--full]"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    full = "--full" in argv
+    argv = [a for a in argv if a != "--full"]
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print(USAGE, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0], "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read {argv[0]}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {argv[0]} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(snapshot, dict):
+        print(f"error: {argv[0]} is not a registry snapshot", file=sys.stderr)
+        return 1
+    print("phase breakdown (§6 style)")
+    print(phase_table(snapshot))
+    if full:
+        print()
+        print(render_table(snapshot))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,8 +24,8 @@ here unchanged.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from collections import deque
+from dataclasses import dataclass
 
 from repro.core.rounds import QuietOutcome
 from repro.crypto import elgamal
@@ -33,6 +33,7 @@ from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.errors import ProtocolError
+from repro.obs import metrics as _metrics
 from repro.verdict.ciphertext import (
     VerdictClientCiphertext,
     VerdictServerShare,
@@ -61,19 +62,72 @@ def _resolve_group(group_name: str) -> SchnorrGroup:
     return _GROUP_NAMES[group_name]()
 
 
-@dataclass
 class VerdictCounters:
     """Work accounting for the XOR-vs-verifiable benchmark comparisons.
 
     ``client_proofs_made`` accrues on clients (one per chunk proof built in
     :meth:`VerdictClient.submit`); the other three accrue on servers.
     :meth:`VerdictSession.total_counters` sums both sides.
+
+    The counts live on a :class:`repro.obs.MetricsRegistry` under
+    ``verdict.*`` names; the original plain-int attributes remain as
+    read/write properties over those counters, so existing ``+=`` call
+    sites and assertions work unchanged.  Each node keeps a private
+    registry by default so per-node counts stay per-node;
+    :meth:`VerdictSession.metrics` merges them into one snapshot.
     """
 
-    client_proofs_made: int = 0
-    client_proofs_checked: int = 0
-    share_proofs_checked: int = 0
-    rejected_submissions: int = 0
+    __slots__ = ("registry",)
+
+    _FIELDS = (
+        "client_proofs_made",
+        "client_proofs_checked",
+        "share_proofs_checked",
+        "rejected_submissions",
+    )
+
+    def __init__(self, registry=None) -> None:
+        if registry is None or not registry.enabled:
+            registry = _metrics.MetricsRegistry()
+        self.registry = registry
+        for field in self._FIELDS:
+            registry.counter(f"verdict.{field}")
+
+    @property
+    def client_proofs_made(self) -> int:
+        return self.registry.counter("verdict.client_proofs_made").value
+
+    @client_proofs_made.setter
+    def client_proofs_made(self, value: int) -> None:
+        self.registry.counter("verdict.client_proofs_made").value = value
+
+    @property
+    def client_proofs_checked(self) -> int:
+        return self.registry.counter("verdict.client_proofs_checked").value
+
+    @client_proofs_checked.setter
+    def client_proofs_checked(self, value: int) -> None:
+        self.registry.counter("verdict.client_proofs_checked").value = value
+
+    @property
+    def share_proofs_checked(self) -> int:
+        return self.registry.counter("verdict.share_proofs_checked").value
+
+    @share_proofs_checked.setter
+    def share_proofs_checked(self, value: int) -> None:
+        self.registry.counter("verdict.share_proofs_checked").value = value
+
+    @property
+    def rejected_submissions(self) -> int:
+        return self.registry.counter("verdict.rejected_submissions").value
+
+    @rejected_submissions.setter
+    def rejected_submissions(self, value: int) -> None:
+        self.registry.counter("verdict.rejected_submissions").value = value
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{f}={getattr(self, f)}" for f in self._FIELDS)
+        return f"VerdictCounters({fields})"
 
 
 class VerdictClient:
@@ -508,3 +562,10 @@ class VerdictSession:
             total.share_proofs_checked += server.counters.share_proofs_checked
             total.rejected_submissions += server.counters.rejected_submissions
         return total
+
+    def metrics(self) -> dict:
+        """Merged ``verdict.*`` registry snapshot across every node."""
+        merged = _metrics.MetricsRegistry()
+        for node in (*self.clients, *self.servers):
+            merged.merge_snapshot(node.counters.registry.snapshot())
+        return merged.snapshot()
