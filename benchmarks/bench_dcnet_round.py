@@ -184,6 +184,46 @@ def test_bench_round_envelope_verification_scalar_vs_batched(capsys):
     )
 
 
+def test_bench_round_envelope_verification_ec_backend(capsys):
+    """Acceptance: ec25519 round verification >= 5x faster than modp1536.
+
+    The same batched multi-exponentiation path, measured per backend at
+    32 clients / 3 servers (the regime of the scalar-vs-batched table).
+    """
+    from repro.crypto.ec25519 import ec_group
+
+    rows = {}
+    for label, group in (("modp1536", wide_group()), ("ec25519", ec_group())):
+        items, hot = _round_envelopes(group, 32, 3)
+
+        def batched_all():
+            assert batch_verify_envelopes(items, hot_bases=hot) == ()
+
+        batched_all()  # warm fixed-base tables
+        rows[label] = {
+            "envelopes": len(items),
+            "batched_s": round(_best_of(batched_all, repetitions=5), 4),
+        }
+
+    speedup = rows["modp1536"]["batched_s"] / rows["ec25519"]["batched_s"]
+    _REPORT["round_envelope_verification_ec_backend"] = {
+        "clients": 32,
+        "servers": 3,
+        "modp1536_s": rows["modp1536"]["batched_s"],
+        "ec25519_s": rows["ec25519"]["batched_s"],
+        "speedup": round(speedup, 2),
+    }
+    with capsys.disabled():
+        print()
+        print(
+            f"batched round verification, 32 clients / 3 servers: "
+            f"modp1536 {rows['modp1536']['batched_s']*1e3:.1f} ms, "
+            f"ec25519 {rows['ec25519']['batched_s']*1e3:.1f} ms "
+            f"({speedup:.1f}x)"
+        )
+    assert speedup >= 5.0, f"ec backend only {speedup:.2f}x faster"
+
+
 def test_bench_modeled_round_time_reflects_batching():
     """The simulator's batched-signature cost, recorded beside the real one."""
     from dataclasses import replace

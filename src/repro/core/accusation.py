@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from collections.abc import Callable, Mapping, Sequence
 
 from repro.crypto import dh, prng
-from repro.crypto.groups import SchnorrGroup, hot_bases_within_budget
+from repro.crypto.groups import Group, hot_bases_within_budget
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.proofs import DleqProof, prove_dleq, verify_dleq
 from repro.crypto.schnorr import Signature, sign as schnorr_sign, verify as schnorr_verify
@@ -60,7 +60,7 @@ class Accusation:
             _SIG_DOMAIN, self.round_number, self.slot_index, self.bit_index
         )
 
-    def to_bytes(self, group: SchnorrGroup) -> bytes:
+    def to_bytes(self, group: Group) -> bytes:
         return pack_fields(
             self.round_number,
             self.slot_index,
@@ -69,7 +69,7 @@ class Accusation:
         )
 
     @classmethod
-    def from_bytes(cls, group: SchnorrGroup, data: bytes) -> "Accusation":
+    def from_bytes(cls, group: Group, data: bytes) -> "Accusation":
         try:
             fields = unpack_fields(data)
             round_number, slot_index, bit_index, sig_bytes = fields
@@ -89,7 +89,7 @@ class Accusation:
 
 def make_accusation(
     pseudonym: PrivateKey,
-    group: SchnorrGroup,
+    group: Group,
     round_number: int,
     slot_index: int,
     bit_index: int,
@@ -104,7 +104,7 @@ def verify_accusation(slot_key: PublicKey, accusation: Accusation) -> bool:
     return schnorr_verify(slot_key, accusation.signed_payload(), accusation.signature)
 
 
-def accusation_max_bytes(group: SchnorrGroup) -> int:
+def accusation_max_bytes(group: Group) -> int:
     """Worst-case serialized accusation size (fixes the shuffle width).
 
     Every accusation-shuffle participant must submit an identically sized
@@ -142,7 +142,7 @@ def make_rebuttal(
 
 
 def verify_rebuttal(
-    group: SchnorrGroup,
+    group: Group,
     client_public: PublicKey,
     server_public: PublicKey,
     rebuttal: Rebuttal,
@@ -235,7 +235,7 @@ def validate_accusation(
 
 
 def run_trace(
-    group: SchnorrGroup,
+    group: Group,
     client_publics: Sequence[PublicKey],
     server_publics: Sequence[PublicKey],
     group_id: bytes,
@@ -376,7 +376,7 @@ def _envelope_screen(
 
 
 def _judge_rebuttal(
-    group: SchnorrGroup,
+    group: Group,
     client_publics: Sequence[PublicKey],
     server_publics: Sequence[PublicKey],
     evidence: RoundEvidence,
@@ -411,7 +411,7 @@ def _judge_rebuttal(
 
 
 def trace_accusation(
-    group: SchnorrGroup,
+    group: Group,
     client_publics: Sequence[PublicKey],
     server_publics: Sequence[PublicKey],
     slot_keys: Sequence[PublicKey],

@@ -15,25 +15,23 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from repro.crypto.groups import (
-    SchnorrGroup,
-    medium_group,
-    production_group,
-    testing_group,
-    tiny_group,
-    wide_group,
+    GROUP_FACTORIES,
+    Group,
+    resolve_group_name,
 )
 from repro.crypto.hashing import group_definition_id
 from repro.crypto.keys import PublicKey
 from repro.errors import ConfigError
 from repro.util.serialization import canonical_json
 
-_GROUP_NAMES = {
-    "production-2048": production_group,
-    "wide-1536": wide_group,
-    "test-256": testing_group,
-    "test-512": medium_group,
-    "tiny-64": tiny_group,
-}
+#: Backend/group registry — one shared table in :mod:`repro.crypto.groups`;
+#: this alias keeps the historic import path working for consumers that
+#: resolve groups lazily (``verdict.session``, ``core.session``).
+_GROUP_NAMES = GROUP_FACTORIES
+
+#: Values ``Policy.group_backend`` accepts: any registered backend name,
+#: or ``"auto"`` to defer to DISSENT_GROUP_BACKEND / the built-in default.
+GROUP_BACKENDS = frozenset(GROUP_FACTORIES) | {"auto"}
 
 #: DC-net operating modes a group policy may select (see Policy.dcnet_mode).
 DCNET_MODES = frozenset({"xor", "verifiable", "hybrid"})
@@ -85,6 +83,14 @@ class Policy:
             before combining (disruptors named in-round); ``"hybrid"`` runs
             the XOR fast path and retroactively replays corrupted rounds in
             verifiable mode, skipping the accusation shuffle.
+        group_backend: which crypto group backend the group runs on
+            (``"modp1536"``, ``"modp2048"``, ``"ec25519"``, a test group,
+            or ``"auto"`` to defer to the session builder / the
+            ``DISSENT_GROUP_BACKEND`` environment variable).  When set to
+            a concrete backend it must agree with the definition's
+            ``group_name`` — mixed selections fail at construction, and
+            the name travels in the wire hello so mismatched *nodes* fail
+            fast too.
     """
 
     alpha: float = 0.9
@@ -98,6 +104,7 @@ class Policy:
     shuffle_soundness_bits: int = 16
     archive_rounds: int = 8
     dcnet_mode: str = "xor"
+    group_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -125,6 +132,11 @@ class Policy:
                 f"dcnet_mode must be one of {sorted(DCNET_MODES)}, "
                 f"got {self.dcnet_mode!r}"
             )
+        if self.group_backend not in GROUP_BACKENDS:
+            raise ConfigError(
+                f"group_backend must be one of {sorted(GROUP_BACKENDS)}, "
+                f"got {self.group_backend!r}"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -139,6 +151,7 @@ class Policy:
             "shuffle_soundness_bits": self.shuffle_soundness_bits,
             "archive_rounds": self.archive_rounds,
             "dcnet_mode": self.dcnet_mode,
+            "group_backend": self.group_backend,
         }
 
     @classmethod
@@ -171,6 +184,12 @@ class GroupDefinition:
         if not self.client_keys:
             raise ConfigError("a group needs at least one client")
         group = self.group
+        backend = self.policy.group_backend
+        if backend != "auto" and _GROUP_NAMES[backend]() is not group:
+            raise ConfigError(
+                f"policy selects backend {backend!r} but the definition "
+                f"names group {self.group_name!r} ({group.name})"
+            )
         for key in (*self.server_keys, *self.client_keys):
             if key.group != group:
                 raise ConfigError("all member keys must use the group's algebra")
@@ -181,7 +200,7 @@ class GroupDefinition:
             seen.add(key.y)
 
     @property
-    def group(self) -> SchnorrGroup:
+    def group(self) -> Group:
         return _GROUP_NAMES[self.group_name]()
 
     @property

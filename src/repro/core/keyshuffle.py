@@ -21,7 +21,7 @@ from collections.abc import Sequence
 from repro.core.config import GroupDefinition
 from repro.crypto import schnorr, shuffle
 from repro.crypto.elgamal import Ciphertext
-from repro.crypto.groups import SchnorrGroup, hot_bases_within_budget
+from repro.crypto.groups import Group, hot_bases_within_budget
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.schnorr import Signature, sign as schnorr_sign
 from repro.crypto.shuffle import CipherVector, ShuffleTranscript
@@ -125,12 +125,12 @@ def shuffle_run_id(purpose: bytes, shuffle_publics: Sequence[PublicKey]) -> byte
     )
 
 
-def pack_cipher_vector(group: SchnorrGroup, vector: CipherVector) -> bytes:
+def pack_cipher_vector(group: Group, vector: CipherVector) -> bytes:
     """Canonical byte encoding of one shuffle input vector."""
     return pack_fields(*[ct.to_bytes(group) for ct in vector])
 
 
-def unpack_cipher_vector(group: SchnorrGroup, data: bytes) -> CipherVector:
+def unpack_cipher_vector(group: Group, data: bytes) -> CipherVector:
     """Invert :func:`pack_cipher_vector`, validating every element."""
     fields = unpack_fields(data)
     if not fields:
@@ -147,7 +147,7 @@ def sign_shuffle_submission(
     key: PrivateKey,
     sender: str,
     group_id: bytes,
-    group: SchnorrGroup,
+    group: Group,
     vector: CipherVector,
     run_id: bytes,
 ) -> SignedEnvelope:

@@ -7,7 +7,11 @@ deployments.
 """
 
 from repro.crypto.groups import (
+    GROUP_FACTORIES,
+    Group,
     SchnorrGroup,
+    default_group_name,
+    group_by_name,
     production_group,
     wide_group,
     testing_group,
@@ -18,7 +22,11 @@ from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto import dh, elgamal, hashing, padding, prng, proofs, schnorr, shuffle
 
 __all__ = [
+    "GROUP_FACTORIES",
+    "Group",
     "SchnorrGroup",
+    "default_group_name",
+    "group_by_name",
     "production_group",
     "wide_group",
     "testing_group",

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.crypto.groups import SchnorrGroup
+from repro.crypto.groups import Group
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.errors import InvalidCiphertext
 
@@ -32,11 +32,11 @@ class Ciphertext:
     a: int
     b: int
 
-    def to_bytes(self, group: SchnorrGroup) -> bytes:
+    def to_bytes(self, group: Group) -> bytes:
         return group.element_to_bytes(self.a) + group.element_to_bytes(self.b)
 
     @classmethod
-    def from_bytes(cls, group: SchnorrGroup, data: bytes) -> "Ciphertext":
+    def from_bytes(cls, group: Group, data: bytes) -> "Ciphertext":
         width = group.element_bytes
         if len(data) != 2 * width:
             raise InvalidCiphertext(
@@ -47,7 +47,7 @@ class Ciphertext:
             group.element_from_bytes(data[width:]),
         )
 
-    def validate(self, group: SchnorrGroup) -> "Ciphertext":
+    def validate(self, group: Group) -> "Ciphertext":
         group.require_element(self.a, "ciphertext a")
         group.require_element(self.b, "ciphertext b")
         return self
@@ -100,7 +100,7 @@ def strip_layer(key: PrivateKey, ct: Ciphertext) -> Ciphertext:
     return Ciphertext(ct.a, group.mul(ct.b, group.inv(group.exp(ct.a, key.x))))
 
 
-def final_plaintext(group: SchnorrGroup, ct: Ciphertext) -> int:
+def final_plaintext(group: Group, ct: Ciphertext) -> int:
     """After every layer is stripped, b holds the bare plaintext element."""
     ct.validate(group)
     return ct.b

@@ -1,17 +1,28 @@
-"""Schnorr groups: prime-order subgroups of Z_p* for a safe prime p.
+"""Group backends: the abstract ``Group`` interface and the modp backend.
 
 All of Dissent's public-key machinery — ElGamal for the verifiable shuffle,
 Schnorr signatures on protocol messages, Diffie-Hellman client/server
 secrets, and the Chaum-Pedersen proofs used in decryption and rebuttals —
-operates in one algebraic setting: the order-``q`` subgroup of quadratic
-residues modulo a safe prime ``p = 2q + 1``.
+operates over one abstract algebraic setting: a cyclic group of prime
+order ``q`` with a fixed generator ``g``.  Two backends implement it:
 
-The class below wraps the modular arithmetic, random scalar and element
-generation, byte encoding, and the safe-prime message embedding that the
-paper's "general message shuffle" needs (§3.10: general messages must be
-embedded within group elements; key shuffles need no embedding, which is
-why the paper finds them much cheaper — our Figure 9 bench shows the same
-gap).
+* :class:`SchnorrGroup` (this module): the order-``q`` subgroup of
+  quadratic residues modulo a safe prime ``p = 2q + 1`` (RFC 3526 modp
+  groups plus short toy primes for tests).
+* :class:`repro.crypto.ec25519.RistrettoGroup`: the prime-order
+  ristretto255 group over edwards25519 (RFC 9496), ~256-bit scalars.
+
+Elements are opaque Python ints — the big-endian integer reading of the
+backend's canonical fixed-width encoding.  For modp groups that is the
+residue itself; for ristretto it is the 32-byte canonical point encoding.
+Consumers never do arithmetic on the ints directly; every operation goes
+through the group methods, which is what makes the backends swappable
+under every proof, signature, and shuffle without touching wire formats.
+
+Backends are selected by name through :data:`GROUP_FACTORIES` (also
+re-exported as ``core.config._GROUP_NAMES``); the ``DISSENT_GROUP_BACKEND``
+environment variable steers the *default* used by session builders when no
+explicit name is given.
 
 Message embedding for safe primes: a message integer ``m`` in ``[1, q]``
 maps to ``m`` itself if ``m`` is a quadratic residue mod ``p`` and to
@@ -21,13 +32,15 @@ maps to ``m`` itself if ``m`` is a quadratic residue mod ``p`` and to
 
 from __future__ import annotations
 
+import os
 import secrets
 from collections.abc import Collection, Iterable
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.crypto import constants
-from repro.errors import CryptoError
+from repro.crypto.hashing import challenge_scalar
+from repro.errors import ConfigError, CryptoError
 from repro.obs import metrics as _metrics
 
 #: Window width (bits) for fixed-base precomputation.  Measured in CPython:
@@ -37,13 +50,20 @@ FIXED_BASE_WINDOW = 5
 
 #: Most distinct bases one batched verification should mark hot.  The
 #: fixed-base table LRU below holds 96 entries; a caller routing more
-#: recurring keys than this through :meth:`SchnorrGroup.exp_fixed` would
+#: recurring keys than this through :meth:`Group.exp_fixed` would
 #: build-and-evict tables (~10 plain exponentiations each) instead of
 #: amortizing them, ending up slower than the shared Pippenger ladder.
 #: The budget must leave room for one full client batch *plus* the
 #: generator and a paper-scale peer-key set (up to 32 servers) to stay
 #: resident together: 48 + 32 + 1 <= 96, with headroom to spare.
 HOT_BASE_BUDGET = 48
+
+#: Environment variable naming the backend session builders default to.
+BACKEND_ENV = "DISSENT_GROUP_BACKEND"
+
+#: Backend used when neither the caller, the policy, nor the environment
+#: picks one.  The toy modp group keeps the test suite fast.
+DEFAULT_GROUP_NAME = "test-256"
 
 
 def hot_bases_within_budget(bases: Iterable[int]) -> tuple[int, ...]:
@@ -90,8 +110,209 @@ def _multiexp_window(count: int, max_bits: int) -> int:
     return max(1, min(width, max_bits))
 
 
+class Group:
+    """Abstract prime-order group backend.
+
+    Implementations provide a cyclic group of prime order :attr:`q` with
+    generator :attr:`g`, where elements are opaque ints (the big-endian
+    reading of the backend's canonical fixed-width encoding).  The
+    contract every backend must honor:
+
+    * ``name`` — stable backend identifier, wire-visible in hellos;
+    * ``is_toy`` — True only for short test parameters;
+    * ``q`` / ``g`` / ``element_bytes`` / ``scalar_bytes`` /
+      ``message_bytes`` — sizes and public constants;
+    * :meth:`is_element` — full membership/canonical-encoding validation
+      (Legendre subgroup check for modp, point decoding for EC);
+    * :meth:`mul` / :meth:`exp` / :meth:`exp_fixed` / :meth:`multiexp` /
+      :meth:`inv` / :meth:`identity` — the group operation and the
+      batching machinery (duplicate-base merging, Pippenger buckets,
+      fixed-base hot-key tables) batched verification is built on;
+    * :meth:`encode_message` / :meth:`decode_message` — invertible
+      embedding of short byte strings into elements.
+
+    Shared helpers (byte codecs, randomness, hash-to-scalar domain
+    separation) are implemented here once, in terms of the contract.
+    """
+
+    name: str = ""
+    is_toy: bool = False
+
+    #: Canonical generator as an element int — a dataclass field on the
+    #: modp backend, a property on the EC backend.  Annotation only: a
+    #: base-class property here would shadow subclass dataclass fields.
+    g: int
+
+    # -- sizes and constants (backend contract) ---------------------------
+
+    @property
+    def q(self) -> int:
+        """Prime order of the group."""
+        raise NotImplementedError
+
+    @property
+    def element_bytes(self) -> int:
+        """Fixed byte width used to encode one group element."""
+        raise NotImplementedError
+
+    @property
+    def scalar_bytes(self) -> int:
+        """Fixed byte width used to encode one exponent."""
+        return (self.q.bit_length() + 7) // 8
+
+    @property
+    def message_bytes(self) -> int:
+        """Maximum message payload one element can embed."""
+        raise NotImplementedError
+
+    # -- membership and arithmetic (backend contract) ---------------------
+
+    def is_element(self, x: int) -> bool:
+        """True iff ``x`` is the canonical encoding of a group element.
+
+        This is where each backend supplies its own validation: the modp
+        backend runs the Legendre subgroup check, the EC backend attempts
+        canonical point decoding.  Everything downstream — signature
+        structural checks, proof verification, wire decoding — calls this
+        one method and inherits the right check for the algebra in use.
+        """
+        raise NotImplementedError
+
+    def mul(self, a: int, b: int) -> int:
+        """The group operation."""
+        raise NotImplementedError
+
+    def exp(self, base: int, e: int) -> int:
+        """``base**e`` (exponent reduced mod q)."""
+        raise NotImplementedError
+
+    def exp_fixed(self, base: int, e: int) -> int:
+        """Fixed-base exponentiation through a cached window table.
+
+        Several times faster than :meth:`exp` once the table for ``base``
+        is built, but the build itself costs about ten plain
+        exponentiations — only use this for bases that recur (the
+        generator, server public keys, combined shuffle keys), not for
+        per-proof transient values.
+        """
+        raise NotImplementedError
+
+    def multiexp(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        hot_bases: Collection[int] = (),
+    ) -> int:
+        """Simultaneous multi-exponentiation: ``prod base**exp``.
+
+        The workhorse of batched proof verification.  Every backend
+        implements the same three cost savers:
+
+        * duplicate bases are merged by summing their exponents mod q, so a
+          base shared by every proof in a round (a slot key, a combined
+          ciphertext component) costs one exponentiation total;
+        * the generator and any base listed in ``hot_bases`` go through the
+          cached fixed-base window tables (callers pass long-lived keys —
+          the combined server key, server publics);
+        * the remaining transient bases run through a Pippenger-style
+          bucket method, sharing one squaring ladder across all of them —
+          essential when most exponents are the short random-linear-
+          combination coefficients of a batched verification, which only
+          populate the low windows.
+
+        Exponents are reduced mod q; callers pass negative exponents freely.
+        Bases must already be group elements (callers validate).
+        """
+        raise NotImplementedError
+
+    def inv(self, a: int) -> int:
+        """Inverse of ``a`` under the group operation."""
+        raise NotImplementedError
+
+    def identity(self) -> int:
+        """The neutral element's canonical int."""
+        raise NotImplementedError
+
+    # -- message embedding (backend contract) -----------------------------
+
+    def encode_message(self, message: bytes) -> int:
+        """Embed ``message`` into a group element (invertible)."""
+        raise NotImplementedError
+
+    def decode_message(self, element: int) -> bytes:
+        """Invert :meth:`encode_message`."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def require_element(self, x: int, what: str = "value") -> int:
+        """Return ``x`` if it is a group element, else raise CryptoError."""
+        if not self.is_element(x):
+            raise CryptoError(f"{what} {x:#x} is not a group element")
+        return x
+
+    def exp_g(self, e: int) -> int:
+        """``g**e`` via the cached generator table (the hottest base)."""
+        return self.exp_fixed(self.g, e)
+
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        """Fiat-Shamir hash of ``parts`` to a scalar mod q.
+
+        Domain-separated by backend name: the same transcript bytes hashed
+        under different backends (or a future renamed group) yield
+        unrelated challenges, so proofs can never be replayed across
+        group backends that happen to share scalar widths.
+        """
+        return challenge_scalar(self.q, b"group:" + self.name.encode(), *parts)
+
+    def random_scalar(self, rng: secrets.SystemRandom | None = None) -> int:
+        """Uniform exponent in [1, q-1]."""
+        if rng is None:
+            return secrets.randbelow(self.q - 1) + 1
+        return rng.randrange(1, self.q)
+
+    def random_element(self, rng: secrets.SystemRandom | None = None) -> int:
+        """Uniform group element (g raised to a random scalar)."""
+        return self.exp(self.g, self.random_scalar(rng))
+
+    def element_to_bytes(self, x: int) -> bytes:
+        """Fixed-width big-endian encoding of a group element."""
+        return x.to_bytes(self.element_bytes, "big")
+
+    def element_from_bytes(self, data: bytes) -> int:
+        """Decode and validate a group element."""
+        if len(data) != self.element_bytes:
+            raise CryptoError(
+                f"element encoding must be {self.element_bytes} bytes, got {len(data)}"
+            )
+        return self.require_element(int.from_bytes(data, "big"), "decoded element")
+
+    # -- shared instrumentation -------------------------------------------
+
+    def _count_fixed_base(self) -> None:
+        if _metrics.GLOBAL.enabled:
+            _metrics.GLOBAL.counter("crypto.fixed_base.exps").inc()
+            _metrics.GLOBAL.counter(f"crypto.fixed_base.exps.{self.name}").inc()
+
+    def _count_table_build(self) -> None:
+        if _metrics.GLOBAL.enabled:
+            _metrics.GLOBAL.counter("crypto.fixed_base.table_builds").inc()
+            _metrics.GLOBAL.counter(
+                f"crypto.fixed_base.table_builds.{self.name}"
+            ).inc()
+
+    def _count_multiexp(self, size: int) -> None:
+        if _metrics.GLOBAL.enabled:
+            _metrics.GLOBAL.counter("crypto.multiexp.calls").inc()
+            _metrics.GLOBAL.counter(f"crypto.multiexp.calls.{self.name}").inc()
+            _metrics.GLOBAL.histogram(
+                "crypto.multiexp.size", _metrics.SIZE_EDGES
+            ).observe(size)
+
+
 @lru_cache(maxsize=96)
-def _fixed_base_table(p: int, q: int, base: int) -> tuple[tuple[int, ...], ...]:
+def _fixed_base_table(
+    p: int, q: int, base: int, name: str = ""
+) -> tuple[tuple[int, ...], ...]:
     """Precomputed window table: ``table[i][d] = base**(d * 2**(w*i)) mod p``.
 
     Cached per (modulus, base), so long-lived bases — the generator,
@@ -106,6 +327,8 @@ def _fixed_base_table(p: int, q: int, base: int) -> tuple[tuple[int, ...], ...]:
     # table hits = crypto.fixed_base.exps - crypto.fixed_base.table_builds.
     if _metrics.GLOBAL.enabled:
         _metrics.GLOBAL.counter("crypto.fixed_base.table_builds").inc()
+        if name:
+            _metrics.GLOBAL.counter(f"crypto.fixed_base.table_builds.{name}").inc()
     w = FIXED_BASE_WINDOW
     blocks = (q.bit_length() + w - 1) // w
     table = []
@@ -120,19 +343,26 @@ def _fixed_base_table(p: int, q: int, base: int) -> tuple[tuple[int, ...], ...]:
 
 
 @dataclass(frozen=True)
-class SchnorrGroup:
-    """A prime-order subgroup of Z_p* defined by a safe prime.
+class SchnorrGroup(Group):
+    """The modp backend: a prime-order subgroup of Z_p* for a safe prime.
 
     Attributes:
         p: safe prime modulus.
         g: generator of the order-``q`` subgroup of quadratic residues.
         is_toy: True for the short test primes; such groups must never be
             used outside tests.
+        name: stable backend identifier (``modp1536``, ``test-256``, ...);
+            derived from the modulus width when not supplied.
     """
 
     p: int
     g: int
     is_toy: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", f"modp{self.p.bit_length()}")
 
     @property
     def q(self) -> int:
@@ -141,13 +371,7 @@ class SchnorrGroup:
 
     @property
     def element_bytes(self) -> int:
-        """Fixed byte width used to encode one group element."""
         return (self.p.bit_length() + 7) // 8
-
-    @property
-    def scalar_bytes(self) -> int:
-        """Fixed byte width used to encode one exponent."""
-        return (self.q.bit_length() + 7) // 8
 
     # -- membership and arithmetic ---------------------------------------
 
@@ -163,12 +387,6 @@ class SchnorrGroup:
             return False
         return _jacobi(x, self.p) == 1
 
-    def require_element(self, x: int, what: str = "value") -> int:
-        """Return ``x`` if it is a subgroup element, else raise CryptoError."""
-        if not self.is_element(x):
-            raise CryptoError(f"{what} {x:#x} is not a group element")
-        return x
-
     def mul(self, a: int, b: int) -> int:
         """Group operation: modular multiplication."""
         return a * b % self.p
@@ -178,16 +396,8 @@ class SchnorrGroup:
         return pow(base, e % self.q, self.p)
 
     def exp_fixed(self, base: int, e: int) -> int:
-        """Fixed-base exponentiation through a cached window table.
-
-        Roughly 4x faster than :meth:`exp` once the table for ``base`` is
-        built, but the build itself costs about ten plain exponentiations —
-        only use this for bases that recur (the generator, server public
-        keys, combined shuffle keys), not for per-proof transient values.
-        """
-        if _metrics.GLOBAL.enabled:
-            _metrics.GLOBAL.counter("crypto.fixed_base.exps").inc()
-        table = _fixed_base_table(self.p, self.q, base)
+        self._count_fixed_base()
+        table = _fixed_base_table(self.p, self.q, base, self.name)
         e %= self.q
         acc = 1
         i = 0
@@ -202,34 +412,11 @@ class SchnorrGroup:
             i += 1
         return acc
 
-    def exp_g(self, e: int) -> int:
-        """``g**e`` via the cached generator table (the hottest base)."""
-        return self.exp_fixed(self.g, e)
-
     def multiexp(
         self,
         pairs: Iterable[tuple[int, int]],
         hot_bases: Collection[int] = (),
     ) -> int:
-        """Simultaneous multi-exponentiation: ``prod base**exp mod p``.
-
-        The workhorse of batched proof verification.  Three cost savers:
-
-        * duplicate bases are merged by summing their exponents mod q, so a
-          base shared by every proof in a round (a slot key, a combined
-          ciphertext component) costs one exponentiation total;
-        * the generator and any base listed in ``hot_bases`` go through the
-          cached fixed-base window tables (callers pass long-lived keys —
-          the combined server key, server publics);
-        * the remaining transient bases run through a Pippenger-style
-          bucket method, sharing one squaring ladder across all of them —
-          essential when most exponents are the short random-linear-
-          combination coefficients of a batched verification, which only
-          populate the low windows.
-
-        Exponents are reduced mod q; callers pass negative exponents freely.
-        Bases must already be subgroup elements (callers validate).
-        """
         p, q = self.p, self.q
         merged: dict[int, int] = {}
         for base, exponent in pairs:
@@ -239,11 +426,7 @@ class SchnorrGroup:
                 continue
             merged[base] = (merged.get(base, 0) + exponent) % q
 
-        if _metrics.GLOBAL.enabled:
-            _metrics.GLOBAL.counter("crypto.multiexp.calls").inc()
-            _metrics.GLOBAL.histogram(
-                "crypto.multiexp.size", _metrics.SIZE_EDGES
-            ).observe(len(merged))
+        self._count_multiexp(len(merged))
 
         acc = 1
         transient: list[tuple[int, int]] = []
@@ -298,32 +481,6 @@ class SchnorrGroup:
     def identity(self) -> int:
         return 1
 
-    # -- randomness --------------------------------------------------------
-
-    def random_scalar(self, rng: secrets.SystemRandom | None = None) -> int:
-        """Uniform exponent in [1, q-1]."""
-        if rng is None:
-            return secrets.randbelow(self.q - 1) + 1
-        return rng.randrange(1, self.q)
-
-    def random_element(self, rng: secrets.SystemRandom | None = None) -> int:
-        """Uniform element of the subgroup (g raised to a random scalar)."""
-        return self.exp(self.g, self.random_scalar(rng))
-
-    # -- encoding ---------------------------------------------------------
-
-    def element_to_bytes(self, x: int) -> bytes:
-        """Fixed-width big-endian encoding of a group element."""
-        return x.to_bytes(self.element_bytes, "big")
-
-    def element_from_bytes(self, data: bytes) -> int:
-        """Decode and validate a group element."""
-        if len(data) != self.element_bytes:
-            raise CryptoError(
-                f"element encoding must be {self.element_bytes} bytes, got {len(data)}"
-            )
-        return self.require_element(int.from_bytes(data, "big"), "decoded element")
-
     # -- message embedding (general message shuffles) ----------------------
 
     @property
@@ -367,28 +524,101 @@ class SchnorrGroup:
 @lru_cache(maxsize=None)
 def production_group() -> SchnorrGroup:
     """RFC 3526 2048-bit MODP group — the deployment default."""
-    return SchnorrGroup(constants.RFC3526_2048_P, constants.DEFAULT_GENERATOR)
+    return SchnorrGroup(
+        constants.RFC3526_2048_P, constants.DEFAULT_GENERATOR, name="modp2048"
+    )
 
 
 @lru_cache(maxsize=None)
 def wide_group() -> SchnorrGroup:
-    """RFC 3526 1536-bit MODP group — the cheaper production option."""
-    return SchnorrGroup(constants.RFC3526_1536_P, constants.DEFAULT_GENERATOR)
+    """RFC 3526 1536-bit MODP group — the cheaper modp production option."""
+    return SchnorrGroup(
+        constants.RFC3526_1536_P, constants.DEFAULT_GENERATOR, name="modp1536"
+    )
 
 
 @lru_cache(maxsize=None)
 def testing_group() -> SchnorrGroup:
     """256-bit toy group for fast functional tests.  Not secure."""
-    return SchnorrGroup(constants.TEST_256_P, constants.DEFAULT_GENERATOR, is_toy=True)
+    return SchnorrGroup(
+        constants.TEST_256_P, constants.DEFAULT_GENERATOR, is_toy=True, name="test-256"
+    )
 
 
 @lru_cache(maxsize=None)
 def tiny_group() -> SchnorrGroup:
     """64-bit toy group for property tests that hammer the algebra."""
-    return SchnorrGroup(constants.TEST_64_P, constants.DEFAULT_GENERATOR, is_toy=True)
+    return SchnorrGroup(
+        constants.TEST_64_P, constants.DEFAULT_GENERATOR, is_toy=True, name="tiny-64"
+    )
 
 
 @lru_cache(maxsize=None)
 def medium_group() -> SchnorrGroup:
     """512-bit toy group: big enough to embed 55-byte messages in tests."""
-    return SchnorrGroup(constants.TEST_512_P, constants.DEFAULT_GENERATOR, is_toy=True)
+    return SchnorrGroup(
+        constants.TEST_512_P, constants.DEFAULT_GENERATOR, is_toy=True, name="test-512"
+    )
+
+
+def _ec25519_group() -> Group:
+    """Lazy import so the EC backend never loads on pure-modp runs."""
+    from repro.crypto.ec25519 import ec_group
+
+    return ec_group()
+
+
+#: Backend registry: every name a ``GroupDefinition`` or session builder
+#: may select.  The legacy descriptive names and the short backend ids
+#: from the policy surface (``modp1536`` / ``modp2048`` / ``ec25519``)
+#: resolve to the same cached instances, so alias mismatches cannot
+#: produce two distinct groups.
+GROUP_FACTORIES = {
+    "production-2048": production_group,
+    "modp2048": production_group,
+    "wide-1536": wide_group,
+    "modp1536": wide_group,
+    "test-256": testing_group,
+    "test-512": medium_group,
+    "tiny-64": tiny_group,
+    "ec25519": _ec25519_group,
+}
+
+
+def group_by_name(name: str) -> Group:
+    """Resolve a backend/group name through the registry."""
+    try:
+        factory = GROUP_FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown group {name!r}; choose one of {sorted(GROUP_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def default_group_name() -> str:
+    """The group session builders use when no explicit name is given.
+
+    ``DISSENT_GROUP_BACKEND`` overrides the built-in default — this is the
+    knob CI's backend matrix turns to re-run the whole suite on another
+    backend without touching call sites.
+    """
+    name = os.environ.get(BACKEND_ENV, "").strip()
+    if not name:
+        return DEFAULT_GROUP_NAME
+    if name not in GROUP_FACTORIES:
+        raise ConfigError(
+            f"{BACKEND_ENV}={name!r} is not a known backend; "
+            f"choose one of {sorted(GROUP_FACTORIES)}"
+        )
+    return name
+
+
+def resolve_group_name(explicit: str | None = None, policy=None) -> str:
+    """Pick the group for a new session: explicit > policy > env > default."""
+    if explicit is not None:
+        return explicit
+    backend = getattr(policy, "group_backend", "auto") if policy else "auto"
+    if backend and backend != "auto":
+        return backend
+    return default_group_name()

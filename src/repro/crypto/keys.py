@@ -10,14 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.crypto.groups import SchnorrGroup
+from repro.crypto.groups import Group
 
 
 @dataclass(frozen=True)
 class PrivateKey:
     """A discrete-log key pair ``(x, y = g**x)``."""
 
-    group: SchnorrGroup
+    group: Group
     x: int
     y: int = field(init=False)
 
@@ -27,7 +27,7 @@ class PrivateKey:
         object.__setattr__(self, "y", self.group.exp_g(self.x))
 
     @classmethod
-    def generate(cls, group: SchnorrGroup, rng=None) -> "PrivateKey":
+    def generate(cls, group: Group, rng=None) -> "PrivateKey":
         """Fresh key pair with a uniform private scalar."""
         return cls(group, group.random_scalar(rng))
 
@@ -40,7 +40,7 @@ class PrivateKey:
 class PublicKey:
     """The public half: a validated group element."""
 
-    group: SchnorrGroup
+    group: Group
     y: int
 
     def __post_init__(self) -> None:
@@ -50,7 +50,7 @@ class PublicKey:
         return self.group.element_to_bytes(self.y)
 
     @classmethod
-    def from_bytes(cls, group: SchnorrGroup, data: bytes) -> "PublicKey":
+    def from_bytes(cls, group: Group, data: bytes) -> "PublicKey":
         return cls(group, group.element_from_bytes(data))
 
     def fingerprint(self) -> bytes:

@@ -26,7 +26,7 @@ group equations that are *linear in the exponents* — e.g.
 ``g**s == t1 * u**c`` with ``c`` recomputed from the hash.  That shape is
 what Verdict exploits (Corrigan-Gibbs, Wolinsky, Ford): raise each
 equation to a short random coefficient, multiply them all together, and
-one multi-exponentiation (:meth:`SchnorrGroup.multiexp`) checks an entire
+one multi-exponentiation (:meth:`Group.multiexp`) checks an entire
 round's worth of proofs.  A cheating prover passes only by predicting the
 coefficients (probability ``2**-BATCH_COEFF_BITS``).  When a batch fails,
 :func:`find_invalid_dleq` / :func:`find_invalid_dleq_or` isolate the exact
@@ -40,8 +40,7 @@ import secrets
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from repro.crypto.groups import SchnorrGroup
-from repro.crypto.hashing import challenge_scalar
+from repro.crypto.groups import Group
 from repro.errors import InvalidProof
 
 _DOMAIN_POK = b"dissent.schnorr-pok.v1"
@@ -55,7 +54,7 @@ _DOMAIN_DLEQ_OR = b"dissent.chaum-pedersen-or.v1"
 BATCH_COEFF_BITS = 128
 
 
-def _batch_coefficient(group: SchnorrGroup, rng=None) -> int:
+def _batch_coefficient(group: Group, rng=None) -> int:
     """One short nonzero random coefficient for a batched equation."""
     bits = min(BATCH_COEFF_BITS, group.q.bit_length() - 1)
     bound = 1 << bits
@@ -72,13 +71,12 @@ class SchnorrProof:
     s: int
 
 
-def prove_dlog(group: SchnorrGroup, x: int, context: bytes = b"") -> SchnorrProof:
+def prove_dlog(group: Group, x: int, context: bytes = b"") -> SchnorrProof:
     """Prove knowledge of the discrete log of ``g**x``."""
     y = group.exp_g(x)
     k = group.random_scalar()
     t = group.exp_g(k)
-    c = challenge_scalar(
-        group.q,
+    c = group.hash_to_scalar(
         _DOMAIN_POK,
         context,
         group.element_to_bytes(y),
@@ -88,15 +86,14 @@ def prove_dlog(group: SchnorrGroup, x: int, context: bytes = b"") -> SchnorrProo
     return SchnorrProof(c, s)
 
 
-def verify_dlog(group: SchnorrGroup, y: int, proof: SchnorrProof, context: bytes = b"") -> bool:
+def verify_dlog(group: Group, y: int, proof: SchnorrProof, context: bytes = b"") -> bool:
     """Check a :func:`prove_dlog` transcript against public value ``y``."""
     if not group.is_element(y):
         return False
     if not (0 <= proof.c < group.q and 0 <= proof.s < group.q):
         return False
     t = group.mul(group.exp_g(proof.s), group.inv(group.exp(y, proof.c)))
-    expected = challenge_scalar(
-        group.q,
+    expected = group.hash_to_scalar(
         _DOMAIN_POK,
         context,
         group.element_to_bytes(y),
@@ -126,10 +123,9 @@ class DleqProof:
 
 
 def _dleq_challenge(
-    group: SchnorrGroup, u: int, h: int, v: int, t1: int, t2: int, context: bytes
+    group: Group, u: int, h: int, v: int, t1: int, t2: int, context: bytes
 ) -> int:
-    return challenge_scalar(
-        group.q,
+    return group.hash_to_scalar(
         _DOMAIN_DLEQ,
         context,
         group.element_to_bytes(h),
@@ -141,7 +137,7 @@ def _dleq_challenge(
 
 
 def prove_dleq(
-    group: SchnorrGroup, x: int, h: int, context: bytes = b""
+    group: Group, x: int, h: int, context: bytes = b""
 ) -> DleqProof:
     """Prove ``log_g(g**x) == log_h(h**x)`` for a second base ``h``.
 
@@ -159,7 +155,7 @@ def prove_dleq(
 
 
 def _dleq_checks(
-    group: SchnorrGroup, u: int, h: int, v: int, proof: DleqProof
+    group: Group, u: int, h: int, v: int, proof: DleqProof
 ) -> bool:
     """Structural preconditions shared by single and batched verification."""
     for value in (u, h, v, proof.t1, proof.t2):
@@ -169,7 +165,7 @@ def _dleq_checks(
 
 
 def verify_dleq(
-    group: SchnorrGroup,
+    group: Group,
     u: int,
     h: int,
     v: int,
@@ -186,7 +182,7 @@ def verify_dleq(
 
 
 def require_dleq(
-    group: SchnorrGroup,
+    group: Group,
     u: int,
     h: int,
     v: int,
@@ -207,7 +203,7 @@ def require_dleq(
 DleqStatement = tuple[int, int, int]
 
 
-def dlog_statement(group: SchnorrGroup, y: int) -> DleqStatement:
+def dlog_statement(group: Group, y: int) -> DleqStatement:
     """Encode plain knowledge-of-discrete-log of ``y`` as a DLEQ statement.
 
     With ``h = g`` and ``v = u = y`` the DLEQ relation degenerates to
@@ -239,7 +235,7 @@ class DleqOrProof:
 
 
 def _or_challenge(
-    group: SchnorrGroup,
+    group: Group,
     statements: tuple[DleqStatement, DleqStatement],
     commitments: tuple[tuple[int, int], tuple[int, int]],
     context: bytes,
@@ -249,11 +245,11 @@ def _or_challenge(
         parts.extend(
             group.element_to_bytes(value) for value in (u, h, v, t1, t2)
         )
-    return challenge_scalar(group.q, _DOMAIN_DLEQ_OR, *parts)
+    return group.hash_to_scalar(_DOMAIN_DLEQ_OR, *parts)
 
 
 def _simulate_branch(
-    group: SchnorrGroup, statement: DleqStatement, rng=None
+    group: Group, statement: DleqStatement, rng=None
 ) -> tuple[int, int, tuple[int, int]]:
     """Pick (c, s) at random and derive commitments that verify under them."""
     u, h, v = statement
@@ -265,7 +261,7 @@ def _simulate_branch(
 
 
 def prove_dleq_or(
-    group: SchnorrGroup,
+    group: Group,
     statements: tuple[DleqStatement, DleqStatement],
     known_index: int,
     x: int,
@@ -313,7 +309,7 @@ def prove_dleq_or(
 
 
 def _or_checks(
-    group: SchnorrGroup,
+    group: Group,
     statements: tuple[DleqStatement, DleqStatement],
     proof: DleqOrProof,
 ) -> bool:
@@ -328,7 +324,7 @@ def _or_checks(
 
 
 def _or_split(
-    group: SchnorrGroup,
+    group: Group,
     statements: tuple[DleqStatement, DleqStatement],
     proof: DleqOrProof,
     context: bytes,
@@ -344,7 +340,7 @@ def _or_split(
 
 
 def verify_dleq_or(
-    group: SchnorrGroup,
+    group: Group,
     statements: tuple[DleqStatement, DleqStatement],
     proof: DleqOrProof,
     context: bytes = b"",
@@ -375,7 +371,7 @@ DleqOrItem = tuple[tuple[DleqStatement, DleqStatement], DleqOrProof, bytes]
 
 
 def batch_verify_dleq(
-    group: SchnorrGroup,
+    group: Group,
     items: Sequence[DleqItem],
     hot_bases: Sequence[int] = (),
     rng=None,
@@ -412,7 +408,7 @@ def batch_verify_dleq(
 
 
 def batch_verify_dleq_or(
-    group: SchnorrGroup,
+    group: Group,
     items: Sequence[DleqOrItem],
     hot_bases: Sequence[int] = (),
     rng=None,
@@ -472,7 +468,7 @@ def _bisect_invalid(
 
 
 def find_invalid_dleq(
-    group: SchnorrGroup,
+    group: Group,
     items: Sequence[DleqItem],
     hot_bases: Sequence[int] = (),
     rng=None,
@@ -499,7 +495,7 @@ def find_invalid_dleq(
 
 
 def find_invalid_dleq_or(
-    group: SchnorrGroup,
+    group: Group,
     items: Sequence[DleqOrItem],
     hot_bases: Sequence[int] = (),
     rng=None,

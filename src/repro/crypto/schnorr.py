@@ -36,7 +36,6 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.crypto.hashing import challenge_scalar
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.errors import InvalidSignature
 
@@ -87,8 +86,7 @@ def _nonce(key: PrivateKey, message: bytes) -> int:
     x_bytes = key.x.to_bytes(group.scalar_bytes, "big")
     counter = 0
     while True:
-        k = challenge_scalar(
-            group.q,
+        k = group.hash_to_scalar(
             _DOMAIN_NONCE,
             x_bytes,
             counter.to_bytes(4, "big"),
@@ -100,8 +98,7 @@ def _nonce(key: PrivateKey, message: bytes) -> int:
 
 
 def _challenge(group, y: int, t: int, message: bytes) -> int:
-    return challenge_scalar(
-        group.q,
+    return group.hash_to_scalar(
         _DOMAIN,
         group.element_to_bytes(y),
         group.element_to_bytes(t),

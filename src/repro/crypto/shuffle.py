@@ -43,7 +43,7 @@ from collections.abc import Sequence
 
 from repro.crypto import elgamal
 from repro.crypto.elgamal import Ciphertext
-from repro.crypto.groups import SchnorrGroup
+from repro.crypto.groups import Group
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.proofs import (
@@ -103,7 +103,7 @@ class ShuffleTranscript:
     inputs: tuple[CipherVector, ...]
     steps: tuple[ShuffleStep, ...]
 
-    def output_vectors(self, group: SchnorrGroup) -> list[list[int]]:
+    def output_vectors(self, group: Group) -> list[list[int]]:
         """Plaintext element vectors after the final strip."""
         if not self.steps:
             raise ShuffleError("transcript has no steps")
@@ -112,7 +112,7 @@ class ShuffleTranscript:
             for vector in self.steps[-1].stripped
         ]
 
-    def outputs(self, group: SchnorrGroup) -> list[int]:
+    def outputs(self, group: Group) -> list[int]:
         """Plaintext elements for width-1 shuffles (e.g. key shuffles)."""
         vectors = self.output_vectors(group)
         for vector in vectors:
@@ -142,13 +142,13 @@ def _vector_width(inputs: Sequence[CipherVector]) -> int:
     return width
 
 
-def _hash_vectors(group: SchnorrGroup, vectors: Sequence[CipherVector]) -> bytes:
+def _hash_vectors(group: Group, vectors: Sequence[CipherVector]) -> bytes:
     parts = [ct.to_bytes(group) for vector in vectors for ct in vector]
     return sha256(*parts) if parts else sha256(b"empty")
 
 
 def _challenge_bits(
-    group: SchnorrGroup,
+    group: Group,
     context: bytes,
     inputs: Sequence[CipherVector],
     outputs: Sequence[CipherVector],
@@ -539,7 +539,7 @@ def prepare_element_input(
     return (elgamal.encrypt_layered(server_publics, element, r),)
 
 
-def message_vector_width(group: SchnorrGroup, max_message_bytes: int) -> int:
+def message_vector_width(group: Group, max_message_bytes: int) -> int:
     """Vector width needed to carry messages up to ``max_message_bytes``.
 
     Every participant in a message shuffle must submit the same width, or
@@ -579,7 +579,7 @@ def prepare_message_input(
     return tuple(vector)
 
 
-def decode_message_output(group: SchnorrGroup, elements: Sequence[int]) -> bytes:
+def decode_message_output(group: Group, elements: Sequence[int]) -> bytes:
     """Invert :func:`prepare_message_input` on one shuffled output vector."""
     framed = b"".join(group.decode_message(element) for element in elements)
     if len(framed) < 2:

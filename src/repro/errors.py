@@ -69,6 +69,16 @@ class UnknownMessageType(WireDecodeError):
     """A decoded envelope carries a type tag outside the protocol."""
 
 
+class GroupBackendMismatch(WireDecodeError):
+    """A peer announced a different crypto group backend in its hello.
+
+    Raised before any protocol traffic flows: element widths differ
+    between backends, so letting a mixed-backend session proceed would
+    surface as garbage decodes deep inside round processing instead of
+    one typed error at connection time.
+    """
+
+
 class ConnectionClosed(WireError):
     """The peer closed the connection (clean EOF between frames)."""
 

@@ -185,7 +185,15 @@ class NodeRuntime:
         continues.  Only transport-level failures (closed peer, torn
         framing) end the loop.
         """
-        await self._send(COORDINATOR, K_HELLO, 0, b"")
+        # The hello announces our crypto backend: name plus element width.
+        # The hub refuses mismatched peers with a typed error instead of
+        # letting differently-sized elements rot into garbage decodes.
+        await self._send(
+            COORDINATOR,
+            K_HELLO,
+            0,
+            pack_fields(self.group.name, self.group.element_bytes),
+        )
         while not self._stopped:
             try:
                 payload = await self.transport.recv()

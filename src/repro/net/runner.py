@@ -63,6 +63,7 @@ from repro.errors import (
     AccusationError,
     ConnectionClosed,
     DissentError,
+    GroupBackendMismatch,
     ProtocolError,
     TraceInconclusive,
     WireError,
@@ -129,18 +130,43 @@ MODES = ("loopback", "tcp", "subprocess")
 class _Hub:
     """Routes frames between named transports; coordinator traffic inboxes."""
 
-    def __init__(self) -> None:
+    def __init__(self, group=None) -> None:
         self.transports: dict[str, object] = {}
         self.inbox: asyncio.Queue = asyncio.Queue()
         self._ready = asyncio.Event()
         self._expected: set[str] = set()
         self._tasks: list[asyncio.Task] = []
+        #: Backend contract peers must announce: (name, element width).
+        self._backend = (group.name, group.element_bytes) if group else None
+        self._fatal: Exception | None = None
 
     def expect(self, names: Sequence[str]) -> None:
         self._expected = set(names)
 
     async def wait_ready(self, timeout: float) -> None:
         await asyncio.wait_for(self._ready.wait(), timeout)
+        if self._fatal is not None:
+            raise self._fatal
+
+    def _fail(self, exc: Exception) -> None:
+        """Abort session bring-up with a typed error (not a slow timeout)."""
+        self._fatal = exc
+        self._ready.set()
+
+    @staticmethod
+    def _parse_hello_backend(body: bytes) -> tuple[str, int] | None:
+        """(backend name, element width) from a hello body, else None."""
+        try:
+            fields = unpack_fields(body)
+        except ValueError:
+            return None
+        if (
+            len(fields) >= 2
+            and isinstance(fields[0], str)
+            and isinstance(fields[1], int)
+        ):
+            return (fields[0], fields[1])
+        return None
 
     def _check_ready(self) -> None:
         if self._expected and self._expected <= set(self.transports):
@@ -156,6 +182,19 @@ class _Hub:
         if frame.kind != K_HELLO or not frame.sender:
             await transport.aclose()
             return
+        if self._backend is not None and frame.body:
+            announced = self._parse_hello_backend(frame.body)
+            if announced is not None and announced != self._backend:
+                self._fail(
+                    GroupBackendMismatch(
+                        f"node {frame.sender!r} runs group backend "
+                        f"{announced[0]!r} ({announced[1]}-byte elements); "
+                        f"this session requires {self._backend[0]!r} "
+                        f"({self._backend[1]}-byte elements)"
+                    )
+                )
+                await transport.aclose()
+                return
         name = frame.sender
         if name == COORDINATOR or name in self.transports:
             # A second connection claiming a registered name would hijack
@@ -310,7 +349,7 @@ class NetworkedSession:
     @classmethod
     def build(
         cls,
-        group_name: str = "test-256",
+        group_name: str | None = None,
         num_servers: int = 3,
         num_clients: int = 8,
         policy: Policy | None = None,
@@ -409,7 +448,7 @@ class NetworkedSession:
         )
 
     async def _start_async(self) -> None:
-        self._hub = _Hub()
+        self._hub = _Hub(group=self.definition.group)
         self._hub.expect(self._node_names())
         if self.mode == "subprocess":
             await self._start_tcp_listener()

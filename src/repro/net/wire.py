@@ -37,7 +37,7 @@ from dataclasses import dataclass
 
 from repro.core.accusation import Accusation, Rebuttal, RoundEvidence, TraceDisclosure
 from repro.core.rounds import RoundOutput
-from repro.crypto.groups import SchnorrGroup
+from repro.crypto.groups import Group
 from repro.crypto.proofs import DleqProof
 from repro.crypto.schnorr import Signature
 from repro.errors import (
@@ -157,7 +157,7 @@ def _take(fields: list, index: int, kind: type, what: str):
 # ---------------------------------------------------------------------------
 
 
-def encode_envelope(group: SchnorrGroup, envelope: SignedEnvelope) -> bytes:
+def encode_envelope(group: Group, envelope: SignedEnvelope) -> bytes:
     """Canonical byte encoding of one signed envelope."""
     return pack_fields(
         _ENVELOPE_MAGIC,
@@ -170,7 +170,7 @@ def encode_envelope(group: SchnorrGroup, envelope: SignedEnvelope) -> bytes:
     )
 
 
-def decode_envelope(group: SchnorrGroup, data: bytes) -> SignedEnvelope:
+def decode_envelope(group: Group, data: bytes) -> SignedEnvelope:
     """Invert :func:`encode_envelope` with full structural validation.
 
     Raises:
@@ -272,19 +272,19 @@ def decode_inventory_body(body: bytes) -> tuple[int, ...]:
     return tuple(indices)
 
 
-def encode_signature_body(group: SchnorrGroup, signature: Signature) -> bytes:
+def encode_signature_body(group: Group, signature: Signature) -> bytes:
     """Body of a ``server-signature`` envelope: the bare output signature."""
     return signature.to_bytes(group)
 
 
-def decode_signature_body(group: SchnorrGroup, body: bytes) -> Signature:
+def decode_signature_body(group: Group, body: bytes) -> Signature:
     try:
         return Signature.from_bytes(group, body)
     except InvalidSignature as exc:
         raise WireDecodeError(f"signature body: {exc}") from exc
 
 
-def encode_round_output_body(group: SchnorrGroup, output: RoundOutput) -> bytes:
+def encode_round_output_body(group: Group, output: RoundOutput) -> bytes:
     """Body of a ``round-output`` envelope: the certified output, whole."""
     return pack_fields(
         output.round_number,
@@ -294,7 +294,7 @@ def encode_round_output_body(group: SchnorrGroup, output: RoundOutput) -> bytes:
     )
 
 
-def decode_round_output_body(group: SchnorrGroup, body: bytes) -> RoundOutput:
+def decode_round_output_body(group: Group, body: bytes) -> RoundOutput:
     fields = _unpack(body, "round output")
     if len(fields) < 4:
         raise WireDecodeError("round output needs at least one signature")
@@ -317,7 +317,7 @@ def decode_round_output_body(group: SchnorrGroup, body: bytes) -> RoundOutput:
 
 
 def encode_shuffle_submission_body(
-    group: SchnorrGroup, run_id: bytes, vector
+    group: Group, run_id: bytes, vector
 ) -> bytes:
     """Body of a ``shuffle-submission`` envelope (run id + cipher vector)."""
     from repro.core.keyshuffle import pack_cipher_vector
@@ -325,7 +325,7 @@ def encode_shuffle_submission_body(
     return pack_fields(run_id, pack_cipher_vector(group, vector))
 
 
-def decode_shuffle_submission_body(group: SchnorrGroup, body: bytes):
+def decode_shuffle_submission_body(group: Group, body: bytes):
     """Returns ``(run_id, cipher_vector)`` with every element validated."""
     from repro.core.keyshuffle import unpack_cipher_vector
     from repro.errors import ShuffleError
@@ -341,7 +341,7 @@ def decode_shuffle_submission_body(group: SchnorrGroup, body: bytes):
         raise WireDecodeError(f"shuffle submission vector: {exc}") from exc
 
 
-def encode_disclosure_body(group: SchnorrGroup, disclosure: TraceDisclosure) -> bytes:
+def encode_disclosure_body(group: Group, disclosure: TraceDisclosure) -> bytes:
     """Body of an ``accusation-reveal`` envelope: one server's trace reveal.
 
     Signing this body is what makes trace equivocation attributable: a
@@ -367,7 +367,7 @@ def encode_disclosure_body(group: SchnorrGroup, disclosure: TraceDisclosure) -> 
     )
 
 
-def decode_disclosure_body(group: SchnorrGroup, body: bytes) -> TraceDisclosure:
+def decode_disclosure_body(group: Group, body: bytes) -> TraceDisclosure:
     fields = _unpack(body, "trace disclosure")
     if len(fields) != 3:
         raise WireDecodeError("trace disclosure body needs exactly 3 fields")
@@ -404,7 +404,7 @@ def decode_disclosure_body(group: SchnorrGroup, body: bytes) -> TraceDisclosure:
 
 
 def encode_accusation_reveal_body(
-    group: SchnorrGroup, bit_index: int, disclosure: TraceDisclosure
+    group: Group, bit_index: int, disclosure: TraceDisclosure
 ) -> bytes:
     """Body of an ``accusation-reveal`` envelope: witness bit + disclosure.
 
@@ -416,7 +416,7 @@ def encode_accusation_reveal_body(
 
 
 def decode_accusation_reveal_body(
-    group: SchnorrGroup, body: bytes
+    group: Group, body: bytes
 ) -> tuple[int, TraceDisclosure]:
     fields = _unpack(body, "accusation reveal")
     if len(fields) != 2:
@@ -433,11 +433,11 @@ def decode_accusation_reveal_body(
 # ---------------------------------------------------------------------------
 
 
-def encode_accusation(group: SchnorrGroup, accusation: Accusation) -> bytes:
+def encode_accusation(group: Group, accusation: Accusation) -> bytes:
     return accusation.to_bytes(group)
 
 
-def decode_accusation(group: SchnorrGroup, data: bytes) -> Accusation:
+def decode_accusation(group: Group, data: bytes) -> Accusation:
     try:
         return Accusation.from_bytes(group, data)
     except AccusationError as exc:
@@ -517,7 +517,7 @@ def decode_evidence(data: bytes) -> RoundEvidence:
     )
 
 
-def encode_rebuttal(group: SchnorrGroup, rebuttal: Rebuttal | None) -> bytes:
+def encode_rebuttal(group: Group, rebuttal: Rebuttal | None) -> bytes:
     """A client's rebuttal reply; empty bytes mean "no rebuttal"."""
     if rebuttal is None:
         return b""
@@ -530,7 +530,7 @@ def encode_rebuttal(group: SchnorrGroup, rebuttal: Rebuttal | None) -> bytes:
     )
 
 
-def decode_rebuttal(group: SchnorrGroup, data: bytes) -> Rebuttal | None:
+def decode_rebuttal(group: Group, data: bytes) -> Rebuttal | None:
     if not data:
         return None
     fields = _unpack(data, "rebuttal")

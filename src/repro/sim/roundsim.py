@@ -20,12 +20,20 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.config import upstream_server
+from repro.crypto.groups import group_by_name
 from repro.core.policy import WindowPolicy, FractionMultiplierPolicy
 from repro.core.schedule import open_slot_bytes
 from repro.sim.churn import LanJitterModel, SessionChurnModel
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import Simulator
 from repro.sim.network import Topology, deterlab_topology
+
+#: Modeled ElGamal ciphertext widths (two group elements each), derived
+#: from the real backends instead of repeating their sizes as literals:
+#: key shuffles ride the compact ~256-bit EC group, general message
+#: shuffles the 2048-bit embedding modp group (paper deployment shape).
+KEY_CIPHERTEXT_BYTES = 2 * group_by_name("ec25519").element_bytes
+EMBED_CIPHERTEXT_BYTES = 2 * group_by_name("modp2048").element_bytes
 
 
 @dataclass(frozen=True)
@@ -368,7 +376,7 @@ def simulate_disruption_recovery(
     trace_time = _trace_time(config, workload)
 
     if mode == "xor":
-        element_bytes = 2 * 256  # 2048-bit embedding-group elements
+        element_bytes = EMBED_CIPHERTEXT_BYTES
         # Detection: the corrupted output round.  Request: one more round
         # to win the shuffle-request gamble (expected value with k=8 is
         # ~1.004 rounds; charge one).
@@ -414,7 +422,7 @@ def _verifiable_round_cost(
     """Prove + verify + transfer cost of one verifiable (replay) round."""
     n, m = config.num_clients, config.num_servers
     cost, topo = config.cost, config.topology
-    element_bytes = 2 * 256
+    element_bytes = EMBED_CIPHERTEXT_BYTES
     client_prove = width * _CLIENT_CHUNK_EXPS * cost.msg_exp_seconds
     server_verify = (
         _verify_exps(n, m, width, batched)
@@ -568,8 +576,8 @@ def simulate_full_protocol(
     topo = topology or deterlab_topology()
     rng = random.Random(seed)
 
-    key_element_bytes = 2 * 32  # compact key-shuffle group ciphertexts
-    msg_element_bytes = 2 * 256  # 2048-bit embedding group ciphertexts
+    key_element_bytes = KEY_CIPHERTEXT_BYTES
+    msg_element_bytes = EMBED_CIPHERTEXT_BYTES
 
     def cascade_network(element_bytes: int) -> float:
         # Each cascade turn forwards all N vectors to the next server and

@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.crypto.elgamal import Ciphertext
-from repro.crypto.groups import SchnorrGroup
+from repro.crypto.groups import Group
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.proofs import (
     DleqItem,
@@ -64,14 +64,14 @@ from repro.util.serialization import pack_fields
 _CONTEXT_DOMAIN = "dissent.verdict.v1"
 
 
-def chunk_count(group: SchnorrGroup, nbytes: int) -> int:
+def chunk_count(group: Group, nbytes: int) -> int:
     """Group elements needed to carry ``nbytes`` of payload."""
     if nbytes < 0:
         raise ProtocolError("payload length must be non-negative")
     return max(1, -(-nbytes // group.message_bytes))
 
 
-def split_chunks(group: SchnorrGroup, payload: bytes, width: int) -> list[bytes]:
+def split_chunks(group: Group, payload: bytes, width: int) -> list[bytes]:
     """Cut ``payload`` into ``width`` chunks of ``group.message_bytes``.
 
     Trailing chunks beyond the payload are empty; an empty chunk embeds as
@@ -131,7 +131,7 @@ class VerdictClientCiphertext:
 
 
 def make_client_ciphertext(
-    group: SchnorrGroup,
+    group: Group,
     combined_key: PublicKey,
     slot_key_element: int,
     client_index: int,
@@ -197,7 +197,7 @@ def make_client_ciphertext(
 
 
 def verify_client_ciphertext(
-    group: SchnorrGroup,
+    group: Group,
     combined_key: PublicKey,
     slot_key_element: int,
     session_id: bytes,
@@ -227,7 +227,7 @@ def verify_client_ciphertext(
 
 
 def _submission_or_items(
-    group: SchnorrGroup,
+    group: Group,
     combined_key: PublicKey,
     slot_key_element: int,
     session_id: bytes,
@@ -250,7 +250,7 @@ def _submission_or_items(
 
 
 def batch_verify_client_ciphertexts(
-    group: SchnorrGroup,
+    group: Group,
     combined_key: PublicKey,
     slot_key_element: int,
     session_id: bytes,
@@ -310,7 +310,7 @@ class VerdictServerShare:
 
 
 def combine_client_ciphertexts(
-    group: SchnorrGroup, submissions: Sequence[VerdictClientCiphertext], width: int
+    group: Group, submissions: Sequence[VerdictClientCiphertext], width: int
 ) -> tuple[list[int], list[int]]:
     """Componentwise product of accepted submissions: (A_k, B_k) per chunk."""
     a_parts = [group.identity()] * width
@@ -325,7 +325,7 @@ def combine_client_ciphertexts(
 
 
 def make_server_share(
-    group: SchnorrGroup,
+    group: Group,
     server_key: PrivateKey,
     server_index: int,
     a_parts: Sequence[int],
@@ -354,7 +354,7 @@ def make_server_share(
 
 
 def verify_server_share(
-    group: SchnorrGroup,
+    group: Group,
     server_public: PublicKey,
     a_parts: Sequence[int],
     session_id: bytes,
@@ -383,7 +383,7 @@ def verify_server_share(
 
 
 def batch_verify_server_shares(
-    group: SchnorrGroup,
+    group: Group,
     server_publics: Sequence[PublicKey],
     a_parts: Sequence[int],
     session_id: bytes,
@@ -428,7 +428,7 @@ def batch_verify_server_shares(
 
 
 def open_round(
-    group: SchnorrGroup,
+    group: Group,
     b_parts: Sequence[int],
     shares: Sequence[VerdictServerShare],
 ) -> list[int]:
@@ -442,7 +442,7 @@ def open_round(
     return elements
 
 
-def decode_round(group: SchnorrGroup, elements: Sequence[int]) -> bytes:
+def decode_round(group: Group, elements: Sequence[int]) -> bytes:
     """Decode opened chunk elements back into the slot payload.
 
     The identity element decodes to the empty chunk (a silent position);

@@ -352,7 +352,7 @@ class HybridSession(DissentSession):
     @classmethod
     def build(
         cls,
-        group_name: str = "test-256",
+        group_name: str | None = None,
         num_servers: int = 3,
         num_clients: int = 8,
         policy=None,

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from repro.core.rounds import QuietOutcome
 from repro.crypto import elgamal
-from repro.crypto.groups import SchnorrGroup
+from repro.crypto.groups import Group
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.errors import ProtocolError
@@ -51,12 +51,15 @@ from repro.verdict.ciphertext import (
 _GROUP_NAMES = None  # populated lazily to avoid importing core at module load
 
 
-def _resolve_group(group_name: str) -> SchnorrGroup:
+def _resolve_group(group_name: str | None) -> Group:
     global _GROUP_NAMES
     if _GROUP_NAMES is None:
         from repro.core.config import _GROUP_NAMES as names
 
         _GROUP_NAMES = names
+    from repro.crypto.groups import resolve_group_name
+
+    group_name = resolve_group_name(group_name)
     if group_name not in _GROUP_NAMES:
         raise ProtocolError(f"unknown group {group_name!r}")
     return _GROUP_NAMES[group_name]()
@@ -135,7 +138,7 @@ class VerdictClient:
 
     def __init__(
         self,
-        group: SchnorrGroup,
+        group: Group,
         index: int,
         slot: int,
         slot_private: PrivateKey,
@@ -237,7 +240,7 @@ class VerdictServer:
 
     def __init__(
         self,
-        group: SchnorrGroup,
+        group: Group,
         index: int,
         key: PrivateKey,
         server_publics: list[PublicKey],
@@ -378,7 +381,7 @@ class VerdictSession:
 
     def __init__(
         self,
-        group: SchnorrGroup,
+        group: Group,
         servers: list[VerdictServer],
         clients: list[VerdictClient],
         slot_keys: list[int],
@@ -401,7 +404,7 @@ class VerdictSession:
         cls,
         num_servers: int = 3,
         num_clients: int = 4,
-        group_name: str = "test-256",
+        group_name: str | None = None,
         slot_payload: int = 24,
         seed: int | None = None,
         client_factories: dict[int, type] | None = None,
