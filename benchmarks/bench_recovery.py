@@ -1,0 +1,162 @@
+"""Recovery benchmarks: checkpoint cost and restart latency vs. history.
+
+Two questions a deployer asks before enabling durable checkpoints:
+
+* what does writing a checkpoint cost at a round barrier, and how does
+  it grow with the number of rounds already recorded (the archive and
+  record list are the growing parts)?
+* how long does it take to come back — restore a coordinator checkpoint
+  into fresh nodes, or SIGKILL-and-restart a single node from its own
+  checkpoint — and does recovery time depend on how much history was
+  checkpointed?
+
+Every recovered run is asserted bit-identical to an uninterrupted run
+before it is timed.  The module writes ``benchmarks/BENCH_recovery.json``
+and a hash-chained audit log ``benchmarks/BENCH_recovery_audit.ndjson``
+(both uploaded by the CI chaos job).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.net.runner import NetworkedSession
+from repro.persist import read_audit_log
+
+_REPORT: dict = {}
+
+NUM_SERVERS = 2
+NUM_CLIENTS = 3
+SEED = 2012
+CHECKPOINT_DEPTHS = (1, 4, 8)
+AUDIT_PATH = Path(__file__).with_name("BENCH_recovery_audit.ndjson")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Write everything the module measured to BENCH_recovery.json."""
+    AUDIT_PATH.unlink(missing_ok=True)
+    yield
+    if _REPORT:
+        path = Path(__file__).with_name("BENCH_recovery.json")
+        path.write_text(json.dumps(_REPORT, indent=2, sort_keys=True) + "\n")
+
+
+def _build(**kwargs):
+    # No explicit group: DISSENT_GROUP_BACKEND steers the benchmark, so
+    # the CI chaos job re-emits the artifact per backend.
+    kwargs.setdefault("num_servers", NUM_SERVERS)
+    kwargs.setdefault("num_clients", NUM_CLIENTS)
+    kwargs.setdefault("seed", SEED)
+    kwargs.setdefault("mode", "tcp")
+    return NetworkedSession.build(**kwargs)
+
+
+def _post_traffic(session):
+    for i in range(NUM_CLIENTS):
+        session.post(i, bytes([i + 1]) * 24)
+
+
+def _uninterrupted(rounds):
+    """Reference transcript: same seed, no faults, no restarts."""
+    with _build(mode="loopback") as session:
+        session.setup()
+        _post_traffic(session)
+        records = [session.run_round() for _ in range(rounds)]
+        delivered = session.delivered_messages(0)
+    return records, delivered
+
+
+@pytest.mark.parametrize("depth", CHECKPOINT_DEPTHS)
+def test_bench_restore_vs_rounds_checkpointed(depth, tmp_path, capsys):
+    """Coordinator checkpoint/restore latency as history grows."""
+    baseline_records, baseline_delivered = _uninterrupted(depth + 1)
+    path = tmp_path / "session.ckpt"
+
+    session = _build(audit_path=str(AUDIT_PATH))
+    try:
+        session.setup()
+        _post_traffic(session)
+        for _ in range(depth):
+            session.run_round()
+        t0 = time.perf_counter()
+        written = session.checkpoint(path)
+        checkpoint_s = time.perf_counter() - t0
+    finally:
+        session.close()
+
+    # Recovery clock: restore the file, respawn every node, push their
+    # barrier state back, and finish the next round.
+    t0 = time.perf_counter()
+    with NetworkedSession.restore(path, audit_path=str(AUDIT_PATH)) as restored:
+        restored.run_round()
+        recovery_s = time.perf_counter() - t0
+        assert restored.records == baseline_records
+        assert restored.delivered_messages(0) == baseline_delivered
+
+    _REPORT[f"restore_after_{depth}_rounds"] = {
+        "rounds_checkpointed": depth,
+        "checkpoint_bytes": written,
+        "checkpoint_seconds": round(checkpoint_s, 4),
+        "restore_to_next_round_seconds": round(recovery_s, 4),
+    }
+    with capsys.disabled():
+        print()
+        print(
+            f"checkpoint after {depth} rounds: {written} bytes in "
+            f"{checkpoint_s * 1e3:.1f} ms; restore + next round in "
+            f"{recovery_s * 1e3:.1f} ms (bit-identical)"
+        )
+
+
+def test_bench_node_restart_from_checkpoint(tmp_path, capsys):
+    """Single-node crash: SIGKILL-free in-process kill, restart from the
+    node's own checkpoint, resume replay, next round completes."""
+    rounds_before, rounds_after = 3, 2
+    baseline_records, baseline_delivered = _uninterrupted(
+        rounds_before + rounds_after
+    )
+    with _build(
+        checkpoint_dir=str(tmp_path / "ckpt"), audit_path=str(AUDIT_PATH)
+    ) as session:
+        session.setup()
+        _post_traffic(session)
+        for _ in range(rounds_before):
+            session.run_round()
+        victim = session.node_name("server", 1)
+        session.kill_node("server", 1)
+        session.wait_dark(victim, timeout=10.0)
+        t0 = time.perf_counter()
+        session.restart_node("server", 1)
+        session.wait_live(victim, timeout=10.0)
+        restart_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(rounds_after):
+            session.run_round()
+        resume_round_s = time.perf_counter() - t0
+        assert session.records == baseline_records
+        assert session.delivered_messages(0) == baseline_delivered
+
+    _REPORT["node_restart"] = {
+        "rounds_before_crash": rounds_before,
+        "restart_to_live_seconds": round(restart_s, 4),
+        "post_restart_round_seconds": round(resume_round_s / rounds_after, 4),
+    }
+    with capsys.disabled():
+        print()
+        print(
+            f"server restart from checkpoint: live again in "
+            f"{restart_s * 1e3:.1f} ms, "
+            f"{resume_round_s / rounds_after * 1e3:.1f} ms/round after "
+            "(bit-identical)"
+        )
+
+
+def test_audit_log_artifact_is_chained():
+    """The benchmark's own audit log verifies end to end."""
+    entries = read_audit_log(AUDIT_PATH)
+    events = [entry["event"] for entry in entries]
+    assert events.count("checkpoint") == len(CHECKPOINT_DEPTHS)
+    assert events.count("resume") >= len(CHECKPOINT_DEPTHS)

@@ -91,6 +91,16 @@ class Policy:
             ``group_name`` — mixed selections fail at construction, and
             the name travels in the wire hello so mismatched *nodes* fail
             fast too.
+        reconnect_attempts: dials a disconnected node makes before giving
+            up on its hub (capped exponential backoff between attempts).
+            The sum of the backoff delays is the coordinator's *retry
+            budget*: a client dark for longer is expelled at the next
+            round barrier instead of stalling the group (§3.7).
+        reconnect_base_delay / reconnect_max_delay: backoff shape in
+            seconds (first step, and the per-step ceiling).
+        peer_outbox_frames: how many sent frames the hub retains per peer
+            for reconnect replay; a node that falls further behind than
+            this must restart from a checkpoint instead of resuming.
     """
 
     alpha: float = 0.9
@@ -105,6 +115,10 @@ class Policy:
     archive_rounds: int = 8
     dcnet_mode: str = "xor"
     group_backend: str = "auto"
+    reconnect_attempts: int = 8
+    reconnect_base_delay: float = 0.05
+    reconnect_max_delay: float = 2.0
+    peer_outbox_frames: int = 512
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -137,6 +151,12 @@ class Policy:
                 f"group_backend must be one of {sorted(GROUP_BACKENDS)}, "
                 f"got {self.group_backend!r}"
             )
+        if self.reconnect_attempts < 1:
+            raise ConfigError("reconnect_attempts must be positive")
+        if self.reconnect_base_delay < 0 or self.reconnect_max_delay < 0:
+            raise ConfigError("reconnect delays must be non-negative")
+        if self.peer_outbox_frames < 1:
+            raise ConfigError("peer_outbox_frames must be positive")
 
     def to_dict(self) -> dict:
         return {
@@ -152,7 +172,22 @@ class Policy:
             "archive_rounds": self.archive_rounds,
             "dcnet_mode": self.dcnet_mode,
             "group_backend": self.group_backend,
+            "reconnect_attempts": self.reconnect_attempts,
+            "reconnect_base_delay": self.reconnect_base_delay,
+            "reconnect_max_delay": self.reconnect_max_delay,
+            "peer_outbox_frames": self.peer_outbox_frames,
         }
+
+    def retry_policy(self, seed: int = 0):
+        """The :class:`repro.net.transport.RetryPolicy` these knobs select."""
+        from repro.net.transport import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.reconnect_attempts,
+            base_delay=self.reconnect_base_delay,
+            max_delay=self.reconnect_max_delay,
+            seed=seed,
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "Policy":

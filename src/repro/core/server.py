@@ -159,6 +159,34 @@ class DissentServer:
         #: does zero SHAKE work on the critical path.
         self.prefetcher = None
 
+    def snapshot_state(self) -> dict:
+        """Capture mutable barrier state (checkpointing / rollback).
+
+        Taken between rounds only: in-flight ``_rounds`` are deliberately
+        excluded — durable checkpoints happen at round barriers where no
+        round is open, and a restore re-opens rounds from scratch.
+        Archive entries are shared, not copied; they are never mutated in
+        place, only inserted and evicted.
+        """
+        return {
+            "scheduler": self.scheduler.clone(),
+            "slot_keys": list(self.slot_keys),
+            "expelled": set(self.expelled),
+            "archive": dict(self.archive),
+            "last_participation": self.last_participation,
+            "rng_state": self.rng.getstate(),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Adopt a snapshot taken by :meth:`snapshot_state`."""
+        self.scheduler = snapshot["scheduler"]
+        self.slot_keys = list(snapshot["slot_keys"])
+        self.expelled = set(snapshot["expelled"])
+        self.archive = dict(snapshot["archive"])
+        self.last_participation = snapshot["last_participation"]
+        self.rng.setstate(snapshot["rng_state"])
+        self._rounds = {}
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

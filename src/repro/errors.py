@@ -83,6 +83,42 @@ class ConnectionClosed(WireError):
     """The peer closed the connection (clean EOF between frames)."""
 
 
+class SessionTimeout(ProtocolError):
+    """A session-level wait (barrier gather, request, hello) hit its deadline.
+
+    Carries enough structure for callers to distinguish *slow* from
+    *dead*: ``peer`` names the node waited on (or ``None`` for a
+    collective barrier), ``kind`` is the wire kind or phase that timed
+    out, and ``deadline`` is the timeout in seconds that expired.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        peer: str | None = None,
+        kind: str | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.peer = peer
+        self.kind = kind
+        self.deadline = deadline
+
+
+class PeerUnreachable(SessionTimeout):
+    """A specific peer is dark: dial retries or a request exhausted the budget.
+
+    Subclass of :class:`SessionTimeout` so existing ``except`` clauses
+    for timeouts still catch it, but callers that care can tell "the
+    whole barrier was slow" from "this one peer is gone".
+    """
+
+
+class CheckpointError(DissentError):
+    """A durable checkpoint is missing, corrupt, or version-incompatible."""
+
+
 class ShuffleError(DissentError):
     """The verifiable shuffle aborted or produced an invalid transcript."""
 

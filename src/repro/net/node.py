@@ -57,7 +57,7 @@ from repro.net.message import (
     SERVER_SIGNATURE,
     SignedEnvelope,
 )
-from repro.net.transport import Transport, connect_tcp
+from repro.net.transport import RetryPolicy, Transport, connect_tcp
 from repro.net.wire import (
     decode_envelope,
     decode_int_list,
@@ -70,7 +70,14 @@ from repro.net.wire import (
     encode_telemetry_body,
 )
 from repro.obs import metrics as _obs
-from repro.util.serialization import pack_fields, unpack_fields
+from repro.persist.checkpoint import read_checkpoint, write_checkpoint
+from repro.persist.codec import (
+    decode_client_state,
+    decode_server_state,
+    encode_client_state,
+    encode_server_state,
+)
+from repro.util.serialization import canonical_json, pack_fields, unpack_fields
 
 #: The hub/orchestrator's reserved routing name.
 COORDINATOR = "coord"
@@ -101,6 +108,8 @@ K_EVIDENCE_REQUEST = "evidence-request"
 K_DISCLOSURE_REQUEST = "disclosure-request"
 K_REBUT_REQUEST = "rebut-request"
 K_TELEMETRY = "telemetry"
+K_SNAPSHOT = "snapshot"
+K_RESTORE = "restore"
 K_SHUTDOWN = "shutdown"
 
 #: Bound on envelopes buffered for rounds a node has not opened yet —
@@ -135,6 +144,9 @@ class NodeRuntime:
         definition: GroupDefinition,
         transport: Transport,
         registry=None,
+        reconnect=None,
+        retry: RetryPolicy | None = None,
+        checkpoint_path: str | None = None,
     ) -> None:
         self.name = name
         self.definition = definition
@@ -146,6 +158,22 @@ class NodeRuntime:
         # telemetry cannot perturb protocol bytes.
         self.registry = registry if registry is not None else _obs.NULL_REGISTRY
         self._clock = time.monotonic
+        #: Optional async factory returning a fresh transport to the hub;
+        #: when set, a dropped connection triggers reconnect-and-resume
+        #: instead of ending the dispatch loop.
+        self.reconnect = reconnect
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: When set, the node checkpoints its own state here at every
+        #: round barrier; a restarted process resumes from that file.
+        self.checkpoint_path = checkpoint_path
+        #: Inbound frames processed — the resume high-water mark the hub
+        #: uses to replay exactly the frames this node never saw.
+        self.recv_count = 0
+        #: Rounds fully applied (completed, failed, or abandoned).
+        self.rounds_done = 0
+        #: Outbound frames a dead transport swallowed; flushed in order
+        #: after the resume handshake so nothing is silently lost.
+        self._unsent: list[bytes] = []
 
     # -- plumbing ------------------------------------------------------
 
@@ -155,7 +183,13 @@ class NodeRuntime:
         payload = encode_routed(to, self.name, kind, seq, body)
         self.registry.counter("net.sent.frames.total").inc()
         self.registry.counter("net.sent.bytes.total").inc(len(payload))
-        await self.transport.send(payload)
+        try:
+            await self.transport.send(payload)
+        except (ConnectionClosed, OSError):
+            # The link is dark.  Hold the frame; the dispatch loop will
+            # notice on its next recv and run the reconnect handshake,
+            # which flushes this buffer after the hello.
+            self._unsent.append(payload)
 
     async def _send_envelope(self, to: str, envelope: SignedEnvelope) -> None:
         body = encode_envelope(self.group, envelope)
@@ -177,32 +211,80 @@ class NodeRuntime:
 
     # -- the dispatch loop ---------------------------------------------
 
+    async def _hello(self) -> None:
+        """Announce backend and resume position to the hub.
+
+        The first two fields (backend name, element width) are the
+        original hello contract — the hub refuses mismatched peers with a
+        typed error instead of letting differently-sized elements rot
+        into garbage decodes.  The trailing three are the resume
+        handshake: session id, rounds applied, and the inbound-frame
+        high-water mark, from which the hub replays exactly the frames
+        this node never processed.
+        """
+        await self._send(
+            COORDINATOR,
+            K_HELLO,
+            0,
+            pack_fields(
+                self.group.name,
+                self.group.element_bytes,
+                self.definition.group_id(),
+                self.rounds_done,
+                self.recv_count,
+            ),
+        )
+
+    async def _try_reconnect(self) -> bool:
+        """Re-dial the hub with deterministic backoff; True on resume."""
+        if self.reconnect is None:
+            return False
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                await asyncio.sleep(self.retry.delay(attempt - 1))
+            self.registry.counter("net.reconnect.attempts").inc()
+            try:
+                transport = await self.reconnect()
+            except (OSError, ConnectionClosed, DissentError):
+                continue
+            self.transport = transport
+            self.registry.counter("net.reconnect.successes").inc()
+            await self._hello()
+            # Flush sends the dead link swallowed, in original order.
+            pending, self._unsent = self._unsent, []
+            for payload in pending:
+                try:
+                    await self.transport.send(payload)
+                except (ConnectionClosed, OSError):
+                    self._unsent.append(payload)
+            return True
+        return False
+
     async def run(self) -> None:
         """Announce ourselves, then serve inbound frames until shutdown.
 
         One malformed or protocol-violating message must never take the
         node down: decode and handler errors are reported and the loop
-        continues.  Only transport-level failures (closed peer, torn
-        framing) end the loop.
+        continues.  A dropped connection triggers the reconnect-and-
+        resume handshake when a ``reconnect`` factory is configured;
+        only an exhausted retry budget (or torn framing) ends the loop.
         """
-        # The hello announces our crypto backend: name plus element width.
-        # The hub refuses mismatched peers with a typed error instead of
-        # letting differently-sized elements rot into garbage decodes.
-        await self._send(
-            COORDINATOR,
-            K_HELLO,
-            0,
-            pack_fields(self.group.name, self.group.element_bytes),
-        )
+        await self._hello()
         while not self._stopped:
             try:
                 payload = await self.transport.recv()
             except ConnectionClosed:
+                if await self._try_reconnect():
+                    continue
                 break
             except (FrameTooLarge, FrameTruncated) as exc:
                 # The stream position is gone; nothing to salvage.
                 await self._report(exc)
                 break
+            # Count the frame *before* dispatch: the hub's replay contract
+            # is "frames beyond the high-water mark were never seen", and
+            # a frame that crashes its handler was still seen.
+            self.recv_count += 1
             self.registry.counter("net.recv.frames.total").inc()
             self.registry.counter("net.recv.bytes.total").inc(len(payload))
             try:
@@ -241,6 +323,15 @@ class NodeRuntime:
             # Ship this node's registry snapshot to the coordinator; a
             # disabled registry snapshots to ``{}`` and merges as a no-op.
             return encode_telemetry_body(self.registry.snapshot())
+        if kind == K_SNAPSHOT:
+            return canonical_json(self._snapshot_payload())
+        if kind == K_RESTORE:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise WireDecodeError(f"malformed restore payload: {exc}") from exc
+            self._restore_payload(payload)
+            return b""
         if kind == K_ENVELOPE:
             envelope = decode_envelope(self.group, body)
             self.registry.counter(f"net.recv.frames.{envelope.msg_type}").inc()
@@ -253,6 +344,28 @@ class NodeRuntime:
 
     async def handle_envelope(self, envelope: SignedEnvelope) -> None:
         raise WireDecodeError(f"{self.name}: unexpected envelope {envelope.msg_type}")
+
+    # -- durable state --------------------------------------------------
+
+    def _snapshot_payload(self) -> dict:
+        raise ProtocolError(f"{self.name}: node kind cannot snapshot")
+
+    def _restore_payload(self, payload: dict) -> None:
+        raise ProtocolError(f"{self.name}: node kind cannot restore")
+
+    def _mark_round_done(self, round_number: int) -> None:
+        self.rounds_done = max(self.rounds_done, round_number + 1)
+
+    def _maybe_checkpoint(self) -> None:
+        """Durably record this node's state at a round barrier."""
+        if self.checkpoint_path is None:
+            return
+        write_checkpoint(
+            self.checkpoint_path,
+            self._snapshot_payload(),
+            kind="node",
+            registry=self.registry,
+        )
 
 
 class _NetRound:
@@ -284,9 +397,15 @@ class ServerNode(NodeRuntime):
     """One anytrust server as a message-driven daemon."""
 
     def __init__(
-        self, server: DissentServer, transport: Transport, registry=None
+        self,
+        server: DissentServer,
+        transport: Transport,
+        registry=None,
+        **runtime_kwargs,
     ) -> None:
-        super().__init__(server.name, server.definition, transport, registry)
+        super().__init__(
+            server.name, server.definition, transport, registry, **runtime_kwargs
+        )
         self.server = server
         self.index = server.index
         self._rounds: dict[int, _NetRound] = {}
@@ -319,6 +438,7 @@ class ServerNode(NodeRuntime):
             self.server.abandon_round(round_number)
             del self._rounds[round_number]
             self._mark_completed(round_number)
+            self._maybe_checkpoint()
             return b""
         if kind == K_EXPEL:
             (client_index,) = _unpack_typed(body, "i", "expel")
@@ -438,11 +558,38 @@ class ServerNode(NodeRuntime):
 
     def _mark_completed(self, round_number: int) -> None:
         """Advance the straggler watermark and purge its early buffers."""
+        self._mark_round_done(round_number)
         self._completed_through = max(self._completed_through, round_number)
         for stale in [r for r in self._early if r <= self._completed_through]:
             purged = len(self._early.pop(stale))
             self._early_count -= purged
             self.registry.counter("net.early.purged").inc(purged)
+
+    def _snapshot_payload(self) -> dict:
+        return {
+            "role": "server",
+            "index": self.index,
+            "rounds_done": self.rounds_done,
+            "recv_count": self.recv_count,
+            "state": encode_server_state(self.server),
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        if payload.get("role") != "server" or payload.get("index") != self.index:
+            raise ProtocolError(
+                f"{self.name}: checkpoint is for "
+                f"{payload.get('role')}-{payload.get('index')}"
+            )
+        decode_server_state(self.server, payload["state"])
+        self.rounds_done = int(payload.get("rounds_done", 0))
+        self.recv_count = int(payload.get("recv_count", 0))
+        # Checkpoints are cut at round barriers: anything at or below the
+        # restored round count already finished, so replayed stragglers
+        # for those rounds must drop instead of reopening state.
+        self._rounds = {}
+        self._early = {}
+        self._early_count = 0
+        self._completed_through = self.rounds_done - 1
 
     async def _broadcast_peers(self, envelope: SignedEnvelope) -> None:
         for j in range(self.definition.num_servers):
@@ -546,6 +693,7 @@ class ServerNode(NodeRuntime):
                 )
                 del self._rounds[state.round_number]
                 self._mark_completed(state.round_number)
+                self._maybe_checkpoint()
                 await self._send(
                     COORDINATOR,
                     K_ROUND_DONE,
@@ -563,9 +711,15 @@ class ClientNode(NodeRuntime):
     """One client as a message-driven daemon."""
 
     def __init__(
-        self, client: DissentClient, transport: Transport, registry=None
+        self,
+        client: DissentClient,
+        transport: Transport,
+        registry=None,
+        **runtime_kwargs,
     ) -> None:
-        super().__init__(client.name, client.definition, transport, registry)
+        super().__init__(
+            client.name, client.definition, transport, registry, **runtime_kwargs
+        )
         self.client = client
         self.index = client.index
 
@@ -601,6 +755,8 @@ class ClientNode(NodeRuntime):
         if kind == K_ROUND_FAILED:
             round_number, participation = _unpack_typed(body, "ii", "round-failed")
             self.client.handle_round_failure(round_number, participation)
+            self._mark_round_done(round_number)
+            self._maybe_checkpoint()
             return b""
         if kind == K_POST:
             (message,) = _unpack_typed(body, "b", "post")
@@ -654,10 +810,36 @@ class ClientNode(NodeRuntime):
             raise WireDecodeError(
                 f"{self.name}: unexpected envelope type {envelope.msg_type!r}"
             )
+        if envelope.round_number < self.rounds_done:
+            # A duplicated frame or a resume replay of a round this client
+            # already applied; reapplying would corrupt delivery history.
+            self.registry.counter("net.stragglers_dropped").inc()
+            return
         self.client.handle_output_envelope(envelope)
+        self._mark_round_done(envelope.round_number)
+        self._maybe_checkpoint()
         await self._send(
             COORDINATOR, K_ROUND_APPLIED, 0, pack_fields(envelope.round_number)
         )
+
+    def _snapshot_payload(self) -> dict:
+        return {
+            "role": "client",
+            "index": self.index,
+            "rounds_done": self.rounds_done,
+            "recv_count": self.recv_count,
+            "state": encode_client_state(self.client),
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        if payload.get("role") != "client" or payload.get("index") != self.index:
+            raise ProtocolError(
+                f"{self.name}: checkpoint is for "
+                f"{payload.get('role')}-{payload.get('index')}"
+            )
+        decode_client_state(self.client, payload["state"])
+        self.rounds_done = int(payload.get("rounds_done", 0))
+        self.recv_count = int(payload.get("recv_count", 0))
 
 
 # ---------------------------------------------------------------------------
@@ -689,30 +871,54 @@ def node_from_config(config: dict, transport: Transport):
         # ship back to the coordinator in the same snapshot.
         registry = _obs.MetricsRegistry()
         _obs.set_global_registry(registry)
+    runtime_kwargs = {
+        "checkpoint_path": config.get("checkpoint_path"),
+        "retry": definition.policy.retry_policy(seed=index),
+    }
     if config["role"] == "server":
         factory = (
             _resolve_class(config["node_class"])
             if config.get("node_class")
             else DissentServer
         )
-        return ServerNode(
-            factory(definition, index, key, rng, **kwargs), transport, registry
+        node = ServerNode(
+            factory(definition, index, key, rng, **kwargs),
+            transport,
+            registry,
+            **runtime_kwargs,
         )
-    if config["role"] == "client":
+    elif config["role"] == "client":
         factory = (
             _resolve_class(config["node_class"])
             if config.get("node_class")
             else DissentClient
         )
-        return ClientNode(
-            factory(definition, index, key, rng, **kwargs), transport, registry
+        node = ClientNode(
+            factory(definition, index, key, rng, **kwargs),
+            transport,
+            registry,
+            **runtime_kwargs,
         )
-    raise ValueError(f"unknown node role {config['role']!r}")
+    else:
+        raise ValueError(f"unknown node role {config['role']!r}")
+    if config.get("resume_from"):
+        # Restart-from-checkpoint: rebuild the phase-machine state the
+        # dead process had at its last round barrier, then let the hub's
+        # replay close the gap between the checkpoint and the crash.
+        node._restore_payload(read_checkpoint(config["resume_from"], kind="node"))
+    return node
 
 
 async def _run_from_config(config: dict) -> None:
-    transport = await connect_tcp(config["host"], config["port"])
+    host, port = config["host"], config["port"]
+    retry = RetryPolicy(seed=config["index"])
+
+    async def reconnect():
+        return await connect_tcp(host, port)
+
+    transport = await connect_tcp(host, port, retry=retry)
     node = node_from_config(config, transport)
+    node.reconnect = reconnect
     await node.run()
 
 

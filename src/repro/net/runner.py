@@ -29,13 +29,14 @@ control barriers; all protocol content rides signed envelopes.
 from __future__ import annotations
 
 import asyncio
+import collections
 import json
 import os
 import random
 import sys
 import tempfile
 import threading
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.accusation import (
     Accusation,
@@ -64,7 +65,9 @@ from repro.errors import (
     ConnectionClosed,
     DissentError,
     GroupBackendMismatch,
+    PeerUnreachable,
     ProtocolError,
+    SessionTimeout,
     TraceInconclusive,
     WireError,
 )
@@ -92,14 +95,22 @@ from repro.net.node import (
     K_ROUND_DONE,
     K_ROUND_FAILED,
     K_ROUND_ABANDON,
+    K_RESTORE,
     K_SCHED_REQUEST,
     K_SCHEDULE,
     K_SHUTDOWN,
+    K_SNAPSHOT,
     K_STATUS_REQUEST,
     K_TELEMETRY,
     ServerNode,
 )
-from repro.net.transport import connect_tcp, loopback_pair, serve_tcp
+from repro.net.transport import (
+    FaultSchedule,
+    FaultyTransport,
+    connect_tcp,
+    loopback_pair,
+    serve_tcp,
+)
 from repro.net.wire import (
     RoutedFrame,
     decode_accusation_reveal_body,
@@ -118,7 +129,15 @@ from repro.obs import (
     MetricsRegistry,
     Tracer,
 )
-from repro.util.serialization import pack_fields, unpack_fields
+from repro.persist.audit import AuditLog
+from repro.persist.checkpoint import read_checkpoint, write_checkpoint
+from repro.persist.codec import (
+    decode_record,
+    decode_rng_state,
+    encode_record,
+    encode_rng_state,
+)
+from repro.util.serialization import canonical_json, pack_fields, unpack_fields
 
 #: Seconds a coordinator barrier waits for node traffic before declaring
 #: the session wedged.  Generous: real crypto on small CI machines.
@@ -127,24 +146,71 @@ DEFAULT_TIMEOUT = 120.0
 MODES = ("loopback", "tcp", "subprocess")
 
 
-class _Hub:
-    """Routes frames between named transports; coordinator traffic inboxes."""
+class _PeerLink:
+    """Hub-side delivery state for one named node, across reconnects.
 
-    def __init__(self, group=None) -> None:
+    ``seq`` numbers every frame ever addressed to the peer; ``outbox``
+    keeps the most recent ``limit`` of them so a reconnecting node can be
+    replayed exactly the suffix beyond its announced high-water mark.
+    ``transport is None`` means the peer is dark: frames keep queueing
+    and the disconnect timestamp feeds the §3.7 expulsion budget.
+    """
+
+    def __init__(self, name: str, limit: int) -> None:
+        self.name = name
+        self.seq = 0
+        self.limit = limit
+        self.outbox: collections.deque = collections.deque()
+        self.transport = None
+        self.disconnected_at: float | None = None
+        #: Frames a FaultSchedule has already judged — carried across
+        #: reconnects so "kill at frame k" fires once, not per dial.
+        self.fault_cursor = 0
+
+
+class _Hub:
+    """Routes frames between named peer links; coordinator traffic inboxes."""
+
+    def __init__(
+        self,
+        group=None,
+        session_id: bytes = b"",
+        registry=None,
+        outbox_limit: int = 512,
+        faults: Mapping[str, FaultSchedule] | None = None,
+    ) -> None:
+        #: Live transports by name — the membership view (a dark peer's
+        #: link survives in :attr:`links`, but it is not *in* here).
         self.transports: dict[str, object] = {}
+        self.links: dict[str, _PeerLink] = {}
         self.inbox: asyncio.Queue = asyncio.Queue()
         self._ready = asyncio.Event()
         self._expected: set[str] = set()
         self._tasks: list[asyncio.Task] = []
         #: Backend contract peers must announce: (name, element width).
         self._backend = (group.name, group.element_bytes) if group else None
+        self._session_id = session_id
         self._fatal: Exception | None = None
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._outbox_limit = outbox_limit
+        self._faults = dict(faults or {})
+        #: Optional callback(name, replayed_count) fired after a resume.
+        self.on_resume = None
 
     def expect(self, names: Sequence[str]) -> None:
         self._expected = set(names)
 
     async def wait_ready(self, timeout: float) -> None:
-        await asyncio.wait_for(self._ready.wait(), timeout)
+        try:
+            await asyncio.wait_for(self._ready.wait(), timeout)
+        except asyncio.TimeoutError:
+            missing = sorted(self._expected - set(self.transports))
+            raise SessionTimeout(
+                f"nodes never said hello within {timeout}s: {missing}",
+                peer=", ".join(missing),
+                kind="hello",
+                deadline=timeout,
+            ) from None
         if self._fatal is not None:
             raise self._fatal
 
@@ -154,26 +220,113 @@ class _Hub:
         self._ready.set()
 
     @staticmethod
-    def _parse_hello_backend(body: bytes) -> tuple[str, int] | None:
-        """(backend name, element width) from a hello body, else None."""
+    def _parse_hello(body: bytes):
+        """(backend, width, session id, rounds done, high water) or None.
+
+        The first two fields are the original hello; the trailing three
+        are the resume handshake and default to "fresh node" when a peer
+        speaks the short form.
+        """
         try:
             fields = unpack_fields(body)
         except ValueError:
             return None
         if (
-            len(fields) >= 2
-            and isinstance(fields[0], str)
-            and isinstance(fields[1], int)
+            len(fields) < 2
+            or not isinstance(fields[0], str)
+            or not isinstance(fields[1], int)
         ):
-            return (fields[0], fields[1])
-        return None
+            return None
+        session_id = fields[2] if len(fields) > 2 and isinstance(fields[2], bytes) else b""
+        rounds_done = fields[3] if len(fields) > 3 and isinstance(fields[3], int) else 0
+        high_water = fields[4] if len(fields) > 4 and isinstance(fields[4], int) else 0
+        return (fields[0], fields[1], session_id, rounds_done, high_water)
 
     def _check_ready(self) -> None:
         if self._expected and self._expected <= set(self.transports):
             self._ready.set()
 
+    def is_dark(self, name: str) -> bool:
+        link = self.links.get(name)
+        return link is not None and link.transport is None
+
+    def dark_since(self, name: str) -> float | None:
+        link = self.links.get(name)
+        return link.disconnected_at if link is not None else None
+
+    def _mark_dark(self, name: str, transport) -> None:
+        """Record a lost link; frames now queue for replay."""
+        link = self.links.get(name)
+        if link is None or link.transport is not transport:
+            return  # a newer connection already took over
+        if isinstance(transport, FaultyTransport):
+            link.fault_cursor = transport.sent
+        link.transport = None
+        link.disconnected_at = asyncio.get_running_loop().time()
+        self.transports.pop(name, None)
+        self.registry.counter("net.links.lost").inc()
+
+    async def deliver(self, name: str, payload: bytes) -> None:
+        """Send one frame to a peer, durably: every frame gets a sequence
+        number and a bounded outbox slot, so a link that dies under us (or
+        is already dark) turns into replay work instead of silent loss."""
+        link = self.links.get(name)
+        if link is None:
+            raise ProtocolError(f"no transport registered for {name!r}")
+        link.seq += 1
+        link.outbox.append((link.seq, payload))
+        while len(link.outbox) > link.limit:
+            link.outbox.popleft()
+        transport = link.transport
+        if transport is None:
+            return
+        try:
+            await transport.send(payload)
+        except (ConnectionClosed, WireError, OSError):
+            self._mark_dark(name, transport)
+
+    async def _resume(self, link: _PeerLink, transport, high_water: int) -> bool:
+        """Adopt a reconnecting peer's transport and replay its gap."""
+        old = link.transport
+        missed = [(seq, payload) for seq, payload in link.outbox if seq > high_water]
+        if missed and missed[0][0] != high_water + 1 and link.outbox[0][0] > high_water + 1:
+            # The bounded outbox evicted frames the peer never saw; a
+            # partial replay would corrupt the protocol stream.
+            await self.inbox.put(
+                RoutedFrame(
+                    to=COORDINATOR,
+                    sender=link.name,
+                    kind=K_NODE_ERROR,
+                    seq=0,
+                    body=pack_fields(
+                        "ProtocolError",
+                        f"{link.name} resumed at frame {high_water} but the "
+                        f"outbox starts at {link.outbox[0][0]}; gap unreplayable",
+                    ),
+                )
+            )
+            await transport.aclose()
+            return False
+        link.transport = transport
+        link.disconnected_at = None
+        self.transports[link.name] = transport
+        if old is not None:
+            await old.aclose()
+        for _seq, payload in missed:
+            try:
+                await transport.send(payload)
+            except (ConnectionClosed, WireError, OSError):
+                self._mark_dark(link.name, transport)
+                return False
+        if missed:
+            self.registry.counter("net.replay.envelopes").inc(len(missed))
+        self.registry.counter("net.links.resumed").inc()
+        if self.on_resume is not None:
+            self.on_resume(link.name, len(missed))
+        return True
+
     async def attach(self, transport) -> None:
-        """Serve one connection: handshake, then route until it closes."""
+        """Serve one connection: handshake (fresh or resume), then route."""
         try:
             frame = decode_routed(await transport.recv())
         except (WireError, ConnectionClosed):
@@ -182,9 +335,9 @@ class _Hub:
         if frame.kind != K_HELLO or not frame.sender:
             await transport.aclose()
             return
-        if self._backend is not None and frame.body:
-            announced = self._parse_hello_backend(frame.body)
-            if announced is not None and announced != self._backend:
+        announced = self._parse_hello(frame.body) if frame.body else None
+        if self._backend is not None and announced is not None:
+            if announced[:2] != self._backend:
                 self._fail(
                     GroupBackendMismatch(
                         f"node {frame.sender!r} runs group backend "
@@ -196,12 +349,32 @@ class _Hub:
                 await transport.aclose()
                 return
         name = frame.sender
-        if name == COORDINATOR or name in self.transports:
-            # A second connection claiming a registered name would hijack
-            # that node's inbound routing; refuse it.
+        if name == COORDINATOR:
             await transport.aclose()
             return
-        self.transports[name] = transport
+        schedule = self._faults.get(name)
+        if schedule is not None:
+            wrapped = FaultyTransport(transport, schedule)
+            link = self.links.get(name)
+            if link is not None:
+                wrapped.sent = link.fault_cursor
+            transport = wrapped
+        link = self.links.get(name)
+        if link is not None:
+            # A name we know: only a resume handshake carrying this
+            # session's id may take over the link — anything else is a
+            # hijack attempt and is refused exactly as before.
+            resume_id = announced[2] if announced else b""
+            if not self._session_id or resume_id != self._session_id:
+                await transport.aclose()
+                return
+            if not await self._resume(link, transport, announced[4]):
+                return
+        else:
+            link = _PeerLink(name, self._outbox_limit)
+            link.transport = transport
+            self.links[name] = link
+            self.transports[name] = transport
         self._check_ready()
         try:
             while True:
@@ -222,8 +395,7 @@ class _Hub:
                 if routed.to == COORDINATOR:
                     await self.inbox.put(routed)
                     continue
-                target = self.transports.get(routed.to)
-                if target is None:
+                if routed.to not in self.links:
                     await self.inbox.put(
                         RoutedFrame(
                             to=COORDINATOR,
@@ -239,12 +411,11 @@ class _Hub:
                     continue
                 # Forward the payload bytes untouched: the hub relays
                 # signed envelopes, it never reconstructs them.
-                await target.send(payload)
+                await self.deliver(routed.to, payload)
         except (ConnectionClosed, WireError, OSError):
             pass
         finally:
-            if self.transports.get(name) is transport:
-                del self.transports[name]
+            self._mark_dark(name, transport)
             await transport.aclose()
 
     def spawn_attach(self, transport) -> None:
@@ -290,6 +461,9 @@ class NetworkedSession:
         client_factories: dict | None = None,
         timeout: float = DEFAULT_TIMEOUT,
         telemetry: bool | None = None,
+        faults: Mapping[str, FaultSchedule] | None = None,
+        checkpoint_dir: str | None = None,
+        audit_path: str | None = None,
     ) -> None:
         if mode not in MODES:
             raise ProtocolError(f"mode must be one of {MODES}, got {mode!r}")
@@ -333,7 +507,7 @@ class NetworkedSession:
         self._tcp_server = None
         self._node_tasks: list[asyncio.Task] = []
         self._pump_task: asyncio.Task | None = None
-        self._processes: list = []
+        self._processes: dict[str, object] = {}
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         self._pending: dict[int, asyncio.Future] = {}
         self._buckets: dict[tuple[str, int], asyncio.Queue] = {}
@@ -341,6 +515,16 @@ class NetworkedSession:
         self._seq = 0
         self._started = False
         self._closed = False
+        #: Chaos / recovery plumbing.
+        self._faults = dict(faults or {})
+        self.checkpoint_dir = checkpoint_dir
+        self.audit = AuditLog(audit_path) if audit_path else None
+        self.retry = definition.policy.retry_policy()
+        #: Node state blobs a restored coordinator pushes after start.
+        self._resume_payloads: dict[str, dict] | None = None
+        #: In-process node run-tasks by name (chaos kill/restart targets).
+        self._node_tasks_by_name: dict[str, asyncio.Task] = {}
+        self._node_objects: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -359,6 +543,9 @@ class NetworkedSession:
         client_factories: dict | None = None,
         timeout: float = DEFAULT_TIMEOUT,
         telemetry: bool | None = None,
+        faults: Mapping[str, FaultSchedule] | None = None,
+        checkpoint_dir: str | None = None,
+        audit_path: str | None = None,
     ) -> "NetworkedSession":
         """Fresh keys and node seeds, derived exactly as
         :meth:`DissentSession.build` derives them — the same ``seed``
@@ -379,6 +566,9 @@ class NetworkedSession:
             client_factories=client_factories,
             timeout=timeout,
             telemetry=telemetry,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
+            audit_path=audit_path,
         )
 
     def __enter__(self) -> "NetworkedSession":
@@ -448,7 +638,14 @@ class NetworkedSession:
         )
 
     async def _start_async(self) -> None:
-        self._hub = _Hub(group=self.definition.group)
+        self._hub = _Hub(
+            group=self.definition.group,
+            session_id=self.definition.group_id(),
+            registry=self.registry,
+            outbox_limit=self.definition.policy.peer_outbox_frames,
+            faults=self._faults,
+        )
+        self._hub.on_resume = self._note_resume
         self._hub.expect(self._node_names())
         if self.mode == "subprocess":
             await self._start_tcp_listener()
@@ -460,6 +657,26 @@ class NetworkedSession:
             await self._start_inprocess_nodes(tcp=False)
         await self._hub.wait_ready(self.timeout)
         self._pump_task = asyncio.create_task(self._pump())
+        if self._resume_payloads:
+            # A coordinator restarted from a checkpoint: push every node
+            # the phase-machine state it held at the checkpoint barrier.
+            await asyncio.gather(
+                *[
+                    self._request(name, K_RESTORE, canonical_json(payload))
+                    for name, payload in self._resume_payloads.items()
+                ]
+            )
+            self._resume_payloads = None
+
+    def _note_resume(self, name: str, replayed: int) -> None:
+        """Hub callback: one peer completed the resume handshake."""
+        if self.audit is not None:
+            self.audit.append("resume", node=name, replayed=replayed)
+
+    def _checkpoint_path_for(self, role: str, index: int) -> str | None:
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir, f"{role}-{index}.ckpt")
 
     async def _start_tcp_listener(self) -> None:
         async def handler(transport):
@@ -471,29 +688,62 @@ class NetworkedSession:
         """A fresh per-node registry, or None (→ null) when disabled."""
         return MetricsRegistry() if self.telemetry else None
 
-    async def _start_inprocess_nodes(self, tcp: bool) -> None:
-        nodes = []
-        for j in range(self.definition.num_servers):
-            nodes.append(
-                lambda t, j=j: ServerNode(
-                    self._make_server(j), t, registry=self._node_registry()
-                )
-            )
-        for i in range(self.definition.num_clients):
-            nodes.append(
-                lambda t, i=i: ClientNode(
-                    self._make_client(i), t, registry=self._node_registry()
-                )
-            )
-        for make_node in nodes:
-            if tcp:
-                transport = await connect_tcp("127.0.0.1", self._port)
-            else:
+    def _make_reconnect(self, tcp: bool):
+        """A transport factory nodes use to re-dial the hub after a drop."""
+        if tcp:
+
+            async def reconnect():
+                return await connect_tcp("127.0.0.1", self._port)
+
+        else:
+
+            async def reconnect():
                 hub_side, node_side = loopback_pair()
                 self._hub.spawn_attach(hub_side)
-                transport = node_side
-            node = make_node(transport)
-            self._node_tasks.append(asyncio.create_task(node.run()))
+                return node_side
+
+        return reconnect
+
+    async def _launch_inprocess_node(
+        self, role: str, index: int, tcp: bool, resume_from: str | None = None
+    ):
+        """Connect, build, and run one in-process node; returns the node.
+
+        A ``resume_from`` checkpoint is applied *before* the dispatch
+        loop starts, so the hello already announces the restored resume
+        position and the hub replays only the true gap.
+        """
+        if tcp:
+            transport = await connect_tcp("127.0.0.1", self._port)
+        else:
+            hub_side, node_side = loopback_pair()
+            self._hub.spawn_attach(hub_side)
+            transport = node_side
+        kwargs = {
+            "registry": self._node_registry(),
+            "reconnect": self._make_reconnect(tcp),
+            "retry": self.definition.policy.retry_policy(seed=index),
+            "checkpoint_path": self._checkpoint_path_for(role, index),
+        }
+        if role == "server":
+            node = ServerNode(self._make_server(index), transport, **kwargs)
+            name = self.definition.server_name(index)
+        else:
+            node = ClientNode(self._make_client(index), transport, **kwargs)
+            name = self.definition.client_name(index)
+        if resume_from is not None:
+            node._restore_payload(read_checkpoint(resume_from, kind="node"))
+        task = asyncio.create_task(node.run())
+        self._node_tasks.append(task)
+        self._node_tasks_by_name[name] = task
+        self._node_objects[name] = node
+        return node
+
+    async def _start_inprocess_nodes(self, tcp: bool) -> None:
+        for j in range(self.definition.num_servers):
+            await self._launch_inprocess_node("server", j, tcp)
+        for i in range(self.definition.num_clients):
+            await self._launch_inprocess_node("client", i, tcp)
 
     def _spawn_config(self, role: str, index: int) -> dict:
         factories = (
@@ -511,14 +761,18 @@ class NetworkedSession:
             "port": self._port,
             "telemetry": bool(self.telemetry),
         }
+        checkpoint_path = self._checkpoint_path_for(role, index)
+        if checkpoint_path is not None:
+            config["checkpoint_path"] = checkpoint_path
         if index in factories:
             factory, kwargs = factories[index]
             config["node_class"] = f"{factory.__module__}:{factory.__qualname__}"
             config["node_kwargs"] = kwargs
         return config
 
-    async def _spawn_processes(self) -> None:
-        self._tmpdir = tempfile.TemporaryDirectory(prefix="dissent-net-")
+    async def _spawn_one_process(
+        self, role: str, index: int, resume_from: str | None = None
+    ):
         src_root = os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.abspath(nodemod.__file__)))
         )
@@ -526,25 +780,38 @@ class NetworkedSession:
         env["PYTHONPATH"] = os.pathsep.join(
             filter(None, [src_root, env.get("PYTHONPATH", "")])
         )
+        config = self._spawn_config(role, index)
+        if resume_from is not None:
+            config["resume_from"] = resume_from
+        path = os.path.join(self._tmpdir.name, f"{role}-{index}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(config, handle)
+        stderr_path = os.path.join(self._tmpdir.name, f"{role}-{index}.err")
+        with open(stderr_path, "ab") as stderr_handle:
+            process = await asyncio.create_subprocess_exec(
+                sys.executable,
+                "-m",
+                "repro.net.node",
+                path,
+                env=env,
+                stdout=asyncio.subprocess.DEVNULL,
+                stderr=stderr_handle,
+            )
+        name = (
+            self.definition.server_name(index)
+            if role == "server"
+            else self.definition.client_name(index)
+        )
+        self._processes[name] = process
+        return process
+
+    async def _spawn_processes(self) -> None:
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="dissent-net-")
         specs = [
             ("server", j) for j in range(self.definition.num_servers)
         ] + [("client", i) for i in range(self.definition.num_clients)]
         for role, index in specs:
-            path = os.path.join(self._tmpdir.name, f"{role}-{index}.json")
-            with open(path, "w", encoding="utf-8") as handle:
-                json.dump(self._spawn_config(role, index), handle)
-            stderr_path = os.path.join(self._tmpdir.name, f"{role}-{index}.err")
-            with open(stderr_path, "wb") as stderr_handle:
-                process = await asyncio.create_subprocess_exec(
-                    sys.executable,
-                    "-m",
-                    "repro.net.node",
-                    path,
-                    env=env,
-                    stdout=asyncio.subprocess.DEVNULL,
-                    stderr=stderr_handle,
-                )
-            self._processes.append(process)
+            await self._spawn_one_process(role, index)
 
     def close(self) -> None:
         """Shut nodes down, reap subprocesses, stop the loop thread.
@@ -580,7 +847,9 @@ class NetworkedSession:
                     await asyncio.wait_for(self._request(name, K_SHUTDOWN, b""), 5)
                 except Exception:
                     pass
-        for process in self._processes:
+        for process in self._processes.values():
+            if process.returncode is not None:
+                continue
             try:
                 await asyncio.wait_for(process.wait(), 5)
             except asyncio.TimeoutError:
@@ -635,14 +904,13 @@ class NetworkedSession:
 
     async def _send(self, to: str, kind: str, seq: int, body: bytes) -> None:
         assert self._hub is not None
-        transport = self._hub.transports.get(to)
-        if transport is None:
-            raise ProtocolError(f"no transport registered for {to!r}")
         payload = encode_routed(to, COORDINATOR, kind, seq, body)
         if self.registry.enabled:
             self.registry.counter("net.coord.sent.frames").inc()
             self.registry.counter("net.coord.sent.bytes").inc(len(payload))
-        await transport.send(payload)
+        # Delivery goes through the hub's per-peer link: a dark peer
+        # queues the frame for resume replay instead of failing the send.
+        await self._hub.deliver(to, payload)
 
     async def _request(self, to: str, kind: str, body: bytes) -> bytes:
         assert self._loop is not None
@@ -655,9 +923,22 @@ class NetworkedSession:
             return await asyncio.wait_for(future, self.timeout)
         except asyncio.TimeoutError:
             self._pending.pop(seq, None)
-            raise ProtocolError(
-                f"{to} did not answer {kind} within {self.timeout}s"
-                + (f" (node errors: {self._node_errors})" if self._node_errors else "")
+            detail = (
+                f" (node errors: {self._node_errors})" if self._node_errors else ""
+            )
+            if self._hub is not None and self._hub.is_dark(to):
+                raise PeerUnreachable(
+                    f"{to} is dark and did not answer {kind} within "
+                    f"{self.timeout}s{detail}",
+                    peer=to,
+                    kind=kind,
+                    deadline=self.timeout,
+                ) from None
+            raise SessionTimeout(
+                f"{to} did not answer {kind} within {self.timeout}s{detail}",
+                peer=to,
+                kind=kind,
+                deadline=self.timeout,
             ) from None
 
     async def _gather(self, kind: str, round_number: int, count: int) -> list:
@@ -681,10 +962,12 @@ class NetworkedSession:
                 pass
             remaining = deadline - asyncio.get_running_loop().time()
             if remaining <= 0 or len(self._node_errors) > errors_before:
-                raise ProtocolError(
+                raise SessionTimeout(
                     f"waiting for {count} {kind} frames of round {round_number}, "
                     f"got {len(frames)}; node errors: "
-                    f"{self._node_errors[errors_before:] or self._node_errors}"
+                    f"{self._node_errors[errors_before:] or self._node_errors}",
+                    kind=kind,
+                    deadline=self.timeout,
                 )
             try:
                 frames.append(
@@ -779,10 +1062,15 @@ class NetworkedSession:
         """Execute one complete round purely by envelope exchange."""
         if not self.scheduled:
             raise ProtocolError("setup() must run before rounds")
+        self._ensure_started()
         return self._call(self._run_round_async(online))
 
     async def _run_round_async(self, online: set[int] | None) -> RoundRecord:
         definition = self.definition
+        # Membership re-forms before the round: clients dark past the
+        # retry budget are expelled (§3.7) instead of wedging every
+        # subsequent round.
+        await self._expel_dark_async()
         r = self.round_number
         self.round_number += 1
         if online is None:
@@ -796,9 +1084,14 @@ class NetworkedSession:
             await self._broadcast(self._server_names(), K_ROUND_BEGIN, begin_body)
             await self._broadcast(self._client_names(), K_ROUND_BEGIN, begin_body)
 
-            statuses = await self._gather(
-                K_INVENTORY_STATUS, r, definition.num_servers
-            )
+            try:
+                statuses = await self._gather(
+                    K_INVENTORY_STATUS, r, definition.num_servers
+                )
+            except SessionTimeout as exc:
+                # A submitter (or server) stayed dark through the whole
+                # barrier: abandon the round rather than hang the group.
+                return await self._abandon_round_async(r, str(exc))
             participations = set()
             all_ok = True
             for frame in statuses:
@@ -835,13 +1128,35 @@ class NetworkedSession:
                 )
                 self.records.append(record)
                 self.registry.counter("session.rounds_failed").inc()
+                if self.audit is not None:
+                    self.audit.append(
+                        "abandon",
+                        round=r,
+                        reason="participation below floor",
+                        participation=participation,
+                    )
                 return record
 
             await self._broadcast(
                 self._server_names(), K_COMMIT_GO, pack_fields(r)
             )
             dones = await self._gather(K_ROUND_DONE, r, definition.num_servers)
-            await self._gather(K_ROUND_APPLIED, r, definition.num_clients)
+            # The output-applied barrier only waits on clients whose link
+            # is up: a dark client's output envelope sits in its replay
+            # queue and is applied on resume, so waiting for it would
+            # wedge a round that every live member already finished.
+            applied_expected = sum(
+                1
+                for i in range(definition.num_clients)
+                if not self._hub.is_dark(definition.client_name(i))
+            )
+            try:
+                await self._gather(K_ROUND_APPLIED, r, applied_expected)
+            except SessionTimeout:
+                # A client died inside the barrier; the round itself is
+                # certified (every server reported done), so the laggard
+                # catches up via replay rather than failing the round.
+                self.registry.counter("session.applied_timeouts").inc()
 
             output_blobs = set()
             shuffle_requested = False
@@ -870,6 +1185,84 @@ class NetworkedSession:
             self.registry.counter("session.shuffle_requests").inc()
         return record
 
+    async def _abandon_round_async(self, r: int, reason: str) -> RoundRecord:
+        """Give up on a wedged round (§3.7) instead of hanging the group.
+
+        Live servers roll the round back, live clients learn the failure
+        immediately, dark clients find it in their replay queue when (if)
+        they resume, and the membership check runs so a peer past its
+        retry budget is expelled before the next round forms.
+        """
+        assert self._hub is not None
+        abandon_body = pack_fields(r)
+        for name in self._server_names():
+            try:
+                await self._request(name, K_ROUND_ABANDON, abandon_body)
+            except DissentError:
+                continue
+        live = [
+            i
+            for i in range(self.definition.num_clients)
+            if i not in self.expelled
+            and not self._hub.is_dark(self.definition.client_name(i))
+        ]
+        participation = len(live)
+        failed_body = pack_fields(r, participation)
+        for i in range(self.definition.num_clients):
+            if i in self.expelled:
+                continue
+            name = self.definition.client_name(i)
+            if self._hub.is_dark(name):
+                # Fire-and-forget: queues in the outbox for resume replay.
+                await self._send(name, K_ROUND_FAILED, 0, failed_body)
+                continue
+            try:
+                await self._request(name, K_ROUND_FAILED, failed_body)
+            except DissentError:
+                continue
+        record = RoundRecord(
+            round_number=r,
+            status=RoundStatus.FAILED,
+            participation=participation,
+            output=None,
+        )
+        self.records.append(record)
+        self.registry.counter("session.rounds_failed").inc()
+        self.registry.counter("session.rounds_abandoned").inc()
+        if self.audit is not None:
+            self.audit.append(
+                "abandon", round=r, reason=reason, participation=participation
+            )
+        await self._expel_dark_async()
+        return record
+
+    async def _expel_dark_async(self) -> list[int]:
+        """Expel clients that stayed dark past the reconnect budget."""
+        assert self._hub is not None
+        budget = self.retry.budget()
+        now = asyncio.get_running_loop().time()
+        expelled = []
+        for i in range(self.definition.num_clients):
+            if i in self.expelled:
+                continue
+            name = self.definition.client_name(i)
+            since = self._hub.dark_since(name)
+            if (
+                self._hub.is_dark(name)
+                and since is not None
+                and now - since > budget
+            ):
+                await self._expel_async(i)
+                expelled.append(i)
+                if self.audit is not None:
+                    self.audit.append(
+                        "expulsion",
+                        client=i,
+                        reason="unreachable past retry budget",
+                        dark_seconds=now - since,
+                    )
+        return expelled
+
     def run_rounds(
         self, count: int, online: set[int] | None = None
     ) -> list[RoundRecord]:
@@ -888,6 +1281,7 @@ class NetworkedSession:
 
     def run_accusation_phase(self) -> list[TraceVerdict]:
         """Accusation shuffle + trace; reveals cross the wire signed."""
+        self._ensure_started()
         return self._call(self._run_accusation_async())
 
     async def _run_accusation_async(self) -> list[TraceVerdict]:
@@ -941,8 +1335,20 @@ class NetworkedSession:
             except (AccusationError, TraceInconclusive):
                 continue
         for verdict in verdicts:
+            if self.audit is not None:
+                self.audit.append(
+                    "blame",
+                    culprit_kind=verdict.culprit_kind,
+                    culprit=verdict.culprit_index,
+                )
             if verdict.culprit_kind == "client":
                 await self._expel_async(verdict.culprit_index)
+                if self.audit is not None:
+                    self.audit.append(
+                        "expulsion",
+                        client=verdict.culprit_index,
+                        reason="blame verdict",
+                    )
             else:
                 self.convicted_servers.add(verdict.culprit_index)
         handled = bool(verdicts)
@@ -1045,6 +1451,224 @@ class NetworkedSession:
         )
 
     # ------------------------------------------------------------------
+    # Durable checkpoints and restart-from-checkpoint
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path: str | os.PathLike) -> int:
+        """Durably checkpoint the whole session at a round barrier.
+
+        Captures the coordinator's view (records, membership, RNG, slot
+        schedule) plus every node's phase-machine state (gathered over
+        ``snapshot`` control frames), as one versioned, checksummed,
+        atomically-replaced file.  Returns the bytes written.
+        """
+        self._ensure_started()
+        return self._call(self._checkpoint_async(os.fspath(path)))
+
+    async def _checkpoint_async(self, path: str) -> int:
+        group = self.definition.group
+        nodes = {}
+        for name in self._node_names():
+            blob = await self._request(name, K_SNAPSHOT, b"")
+            nodes[name] = json.loads(blob.decode("utf-8"))
+        payload = {
+            "definition": self.definition.canonical_bytes().hex(),
+            "mode": self.mode,
+            "server_keys": [format(key.x, "x") for key in self._server_keys],
+            "client_keys": [format(key.x, "x") for key in self._client_keys],
+            "server_seeds": list(self._server_seeds),
+            "client_seeds": list(self._client_seeds),
+            "round_number": self.round_number,
+            "records": [encode_record(group, record) for record in self.records],
+            "expelled": sorted(self.expelled),
+            "convicted_servers": sorted(self.convicted_servers),
+            "scheduled": self.scheduled,
+            "slot_elements": [format(e, "x") for e in self._slot_elements],
+            "rng_state": encode_rng_state(self.rng.getstate()),
+            "nodes": nodes,
+        }
+        written = write_checkpoint(
+            path, payload, kind="net-session", registry=self.registry
+        )
+        if self.audit is not None:
+            self.audit.append(
+                "checkpoint",
+                path=path,
+                round=self.round_number,
+                bytes=written,
+            )
+        return written
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | os.PathLike,
+        mode: str | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        telemetry: bool | None = None,
+        faults: Mapping[str, FaultSchedule] | None = None,
+        checkpoint_dir: str | None = None,
+        audit_path: str | None = None,
+    ) -> "NetworkedSession":
+        """Rebuild a session from a coordinator checkpoint.
+
+        Fresh nodes are started and then handed the phase-machine state
+        they held at the checkpoint barrier over ``restore`` control
+        frames, so the session continues with no round-record gaps.
+        """
+        payload = read_checkpoint(os.fspath(path), kind="net-session")
+        definition = GroupDefinition.from_canonical_bytes(
+            bytes.fromhex(payload["definition"])
+        )
+        group = definition.group
+        server_keys = [
+            PrivateKey(group, int(value, 16)) for value in payload["server_keys"]
+        ]
+        client_keys = [
+            PrivateKey(group, int(value, 16)) for value in payload["client_keys"]
+        ]
+        rng = random.Random()
+        rng.setstate(decode_rng_state(payload["rng_state"]))
+        session = cls(
+            definition,
+            server_keys,
+            client_keys,
+            rng,
+            mode=mode if mode is not None else payload["mode"],
+            server_seeds=payload["server_seeds"],
+            client_seeds=payload["client_seeds"],
+            timeout=timeout,
+            telemetry=telemetry,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
+            audit_path=audit_path,
+        )
+        session.round_number = int(payload["round_number"])
+        session.records = [
+            decode_record(group, record) for record in payload["records"]
+        ]
+        session.expelled = set(payload["expelled"])
+        session.convicted_servers = set(payload["convicted_servers"])
+        session.scheduled = bool(payload["scheduled"])
+        session._slot_elements = [int(value, 16) for value in payload["slot_elements"]]
+        session._resume_payloads = dict(payload["nodes"])
+        if session.audit is not None:
+            session.audit.append(
+                "resume", node=COORDINATOR, round=session.round_number
+            )
+        return session
+
+    # ------------------------------------------------------------------
+    # Chaos harness: kill links and nodes, restart from checkpoints
+    # ------------------------------------------------------------------
+
+    def node_name(self, role: str, index: int) -> str:
+        return (
+            self.definition.server_name(index)
+            if role == "server"
+            else self.definition.client_name(index)
+        )
+
+    def kill_connection(self, name: str) -> None:
+        """Sever a node's hub link mid-stream; the node must reconnect."""
+        self._ensure_started()
+
+        async def sever() -> None:
+            assert self._hub is not None
+            link = self._hub.links.get(name)
+            if link is None or link.transport is None:
+                return
+            transport = link.transport
+            self._hub._mark_dark(name, transport)
+            await transport.aclose()
+
+        self._call(sever())
+
+    def kill_node(self, role: str, index: int) -> None:
+        """Terminate one node without ceremony (SIGKILL in subprocess
+        mode, task cancellation in-process); its link goes dark."""
+        self._ensure_started()
+        name = self.node_name(role, index)
+
+        async def kill() -> None:
+            process = self._processes.get(name)
+            if process is not None and process.returncode is None:
+                process.kill()
+                await process.wait()
+            task = self._node_tasks_by_name.pop(name, None)
+            if task is not None:
+                task.cancel()
+            node = self._node_objects.pop(name, None)
+            if node is not None:
+                await node.transport.aclose()
+
+        self._call(kill())
+        self.registry.counter("chaos.nodes_killed").inc()
+
+    def restart_node(
+        self, role: str, index: int, resume_from: str | None = None
+    ) -> None:
+        """Start a fresh process/task for a killed node.
+
+        ``resume_from`` defaults to the node's own checkpoint when the
+        session has a ``checkpoint_dir`` — the restarted node rebuilds
+        its barrier state from disk, then the hub's resume replay closes
+        the remaining gap.
+        """
+        self._ensure_started()
+        if resume_from is None:
+            resume_from = self._checkpoint_path_for(role, index)
+            if resume_from is not None and not os.path.exists(resume_from):
+                resume_from = None
+
+        async def restart() -> None:
+            if self.mode == "subprocess":
+                await self._spawn_one_process(role, index, resume_from=resume_from)
+                return
+            await self._launch_inprocess_node(
+                role, index, tcp=(self.mode == "tcp"), resume_from=resume_from
+            )
+
+        self._call(restart())
+        self.registry.counter("chaos.nodes_restarted").inc()
+
+    def wait_dark(self, name: str, timeout: float = 10.0) -> None:
+        """Block until the hub notices a peer's link is gone."""
+        self._ensure_started()
+
+        async def wait() -> None:
+            deadline = asyncio.get_running_loop().time() + timeout
+            while not self._hub.is_dark(name):
+                if asyncio.get_running_loop().time() > deadline:
+                    raise SessionTimeout(
+                        f"{name} never went dark within {timeout}s",
+                        peer=name,
+                        kind="wait-dark",
+                        deadline=timeout,
+                    )
+                await asyncio.sleep(0.01)
+
+        self._call(wait())
+
+    def wait_live(self, name: str, timeout: float = 10.0) -> None:
+        """Block until a peer's link is (re)established."""
+        self._ensure_started()
+
+        async def wait() -> None:
+            deadline = asyncio.get_running_loop().time() + timeout
+            while name not in self._hub.transports:
+                if asyncio.get_running_loop().time() > deadline:
+                    raise SessionTimeout(
+                        f"{name} never came back within {timeout}s",
+                        peer=name,
+                        kind="wait-live",
+                        deadline=timeout,
+                    )
+                await asyncio.sleep(0.01)
+
+        self._call(wait())
+
+    # ------------------------------------------------------------------
     # Convenience for applications and tests
     # ------------------------------------------------------------------
 
@@ -1064,11 +1688,15 @@ class NetworkedSession:
         merged = MetricsRegistry()
         merged.merge_snapshot(self.registry.snapshot())
         if self.telemetry:
+            # Dark peers cannot answer (a dead process took its counters
+            # with it); skip them instead of stalling the whole snapshot.
+            live = [
+                name
+                for name in self._node_names()
+                if self._hub is None or not self._hub.is_dark(name)
+            ]
             replies = await asyncio.gather(
-                *[
-                    self._request(name, K_TELEMETRY, b"")
-                    for name in self._node_names()
-                ]
+                *[self._request(name, K_TELEMETRY, b"") for name in live]
             )
             for reply in replies:
                 merged.merge_snapshot(decode_telemetry_body(reply))

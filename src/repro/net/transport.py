@@ -8,20 +8,82 @@ both directions.  Two implementations:
   deployment.
 * :class:`LoopbackTransport` — an in-memory pair for tests and
   single-process sessions, with **injectable fault schedules**: per-frame
-  latency, deterministic index-based drops, and adjacent-frame reordering,
-  so delivery pathologies are reproducible instead of depending on timing.
+  latency, deterministic index-based drops, duplicates, connection kills,
+  and adjacent-frame reordering, so delivery pathologies are reproducible
+  instead of depending on timing.
+
+The same :class:`FaultSchedule` drives all transport flavours:
+:class:`FaultyTransport` wraps any transport (TCP included) and applies a
+schedule to its send side, and both :func:`connect_tcp` and
+:func:`serve_tcp` accept fault hooks so a chaos test can inject the same
+deterministic pathologies into loopback, TCP, and subprocess runs.
+
+:class:`RetryPolicy` gives dialers a capped exponential backoff with
+*deterministic* jitter (hash-derived, no global RNG) so reconnect timing
+is reproducible in tests.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-from repro.errors import ConnectionClosed, FrameTooLarge, FrameTruncated
+from repro.errors import ConnectionClosed, FrameTooLarge, FrameTruncated, PeerUnreachable
 from repro.net.wire import MAX_FRAME_BYTES, encode_frame
 
 _LEN_BYTES = 4
+
+
+# ---------------------------------------------------------------------------
+# Retry policy (capped exponential backoff, deterministic jitter)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for re-dialing a dark peer.
+
+    ``delay(attempt)`` is ``base_delay * 2**attempt`` capped at
+    ``max_delay``, then scaled by a jitter factor in
+    ``[1 - jitter, 1 + jitter]`` derived from a hash of ``(seed,
+    attempt)`` — fully deterministic, so chaos tests replay identically.
+
+    Attributes:
+        max_attempts: dial attempts before the peer is declared dark.
+        base_delay: first backoff step in seconds.
+        max_delay: ceiling on any single backoff step.
+        jitter: fractional jitter amplitude (0 disables it).
+        seed: namespace for the deterministic jitter stream.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay * (2**attempt), self.max_delay)
+        if not self.jitter:
+            return raw
+        digest = hashlib.sha256(f"retry|{self.seed}|{attempt}".encode()).digest()
+        frac = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return raw * (1.0 + self.jitter * (2.0 * frac - 1.0))
+
+    def budget(self) -> float:
+        """Total seconds of backoff a full retry sequence can spend."""
+        return sum(self.delay(i) for i in range(self.max_attempts))
 
 
 class Transport:
@@ -119,11 +181,43 @@ class TcpTransport(Transport):
 
 
 async def connect_tcp(
-    host: str, port: int, max_frame_bytes: int = MAX_FRAME_BYTES
-) -> TcpTransport:
-    """Dial a node/hub listener and wrap the stream in a transport."""
-    reader, writer = await asyncio.open_connection(host, port)
-    return TcpTransport(reader, writer, max_frame_bytes)
+    host: str,
+    port: int,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    retry: RetryPolicy | None = None,
+    faults: "FaultSchedule | None" = None,
+) -> Transport:
+    """Dial a node/hub listener and wrap the stream in a transport.
+
+    With ``retry``, refused/failed dials back off per the policy and the
+    final failure is a typed :class:`PeerUnreachable` (carrying the
+    ``host:port`` peer and the spent budget).  Without it the first
+    ``OSError`` propagates unchanged, preserving one-shot semantics.
+    With ``faults``, the returned transport applies the schedule to its
+    send side (see :class:`FaultyTransport`).
+    """
+    attempts = retry.max_attempts if retry is not None else 1
+    last_error: OSError | None = None
+    for attempt in range(attempts):
+        if attempt and retry is not None:
+            await asyncio.sleep(retry.delay(attempt - 1))
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            if retry is None:
+                raise
+            last_error = exc
+            continue
+        transport: Transport = TcpTransport(reader, writer, max_frame_bytes)
+        if faults is not None:
+            transport = FaultyTransport(transport, faults)
+        return transport
+    raise PeerUnreachable(
+        f"could not connect to {host}:{port} after {attempts} attempts: {last_error}",
+        peer=f"{host}:{port}",
+        kind="connect",
+        deadline=retry.budget() if retry is not None else None,
+    )
 
 
 async def serve_tcp(
@@ -131,14 +225,23 @@ async def serve_tcp(
     host: str = "127.0.0.1",
     port: int = 0,
     max_frame_bytes: int = MAX_FRAME_BYTES,
+    faults=None,
 ) -> tuple[asyncio.AbstractServer, int]:
     """Listen for transports; ``handler(transport)`` runs per connection.
 
     Returns the server object and the bound port (useful with port 0).
+    ``faults`` may be a :class:`FaultSchedule` applied to every accepted
+    connection's send side, or a callable ``faults(transport) ->
+    FaultSchedule | None`` deciding per connection.
     """
 
     async def on_connection(reader, writer):
-        await handler(TcpTransport(reader, writer, max_frame_bytes))
+        transport: Transport = TcpTransport(reader, writer, max_frame_bytes)
+        if faults is not None:
+            schedule = faults(transport) if callable(faults) else faults
+            if schedule is not None:
+                transport = FaultyTransport(transport, schedule)
+        await handler(transport)
 
     server = await asyncio.start_server(on_connection, host, port)
     bound_port = server.sockets[0].getsockname()[1]
@@ -152,7 +255,7 @@ async def serve_tcp(
 
 @dataclass(frozen=True)
 class FaultSchedule:
-    """Deterministic delivery pathologies for one loopback direction.
+    """Deterministic delivery pathologies for one send direction.
 
     Attributes:
         latency: seconds every frame waits before delivery (event-loop
@@ -163,12 +266,19 @@ class FaultSchedule:
             reorder).  If frame ``i+1`` never comes, the held frame flushes
             at close so reordering cannot deadlock a stream.
         extra_delay: per-send-index additional latency seconds.
+        dup: send indices delivered twice back to back (receivers must be
+            idempotent — signed envelopes are).
+        kill: send indices at which the connection dies: the frame is
+            lost and the transport closes, as if the TCP session was cut
+            mid-round.  Recovery is the reconnect/replay layer's job.
     """
 
     latency: float = 0.0
     drop: frozenset[int] = frozenset()
     swap: frozenset[int] = frozenset()
     extra_delay: Mapping[int, float] = field(default_factory=dict)
+    dup: frozenset[int] = frozenset()
+    kill: frozenset[int] = frozenset()
 
 
 class _LoopbackEnd:
@@ -190,6 +300,10 @@ class _LoopbackEnd:
             )
         index = self.sent
         self.sent += 1
+        if index in self.faults.kill:
+            # The frame is lost and the direction dies, like a cut socket.
+            self.close()
+            raise ConnectionClosed(f"fault schedule killed the link at frame {index}")
         if index in self.faults.drop:
             return
         delay = self.faults.latency + self.faults.extra_delay.get(index, 0.0)
@@ -202,6 +316,8 @@ class _LoopbackEnd:
             self.held = payload
             return
         self.queue.put_nowait(payload)
+        if index in self.faults.dup:
+            self.queue.put_nowait(payload)
         if self.held is not None:
             self.queue.put_nowait(self.held)
             self.held = None
@@ -257,3 +373,64 @@ def loopback_pair(
         LoopbackTransport(forward, backward, "loopback-a"),
         LoopbackTransport(backward, forward, "loopback-b"),
     )
+
+
+# ---------------------------------------------------------------------------
+# Fault wrapper for arbitrary transports (TCP chaos injection)
+# ---------------------------------------------------------------------------
+
+
+class FaultyTransport(Transport):
+    """Apply a :class:`FaultSchedule` to the send side of any transport.
+
+    This is what lets the chaos harness drive the TCP and subprocess
+    modes with the same deterministic schedules the loopback pair always
+    supported: drops, duplicates, adjacent reordering, per-index delays,
+    and mid-stream connection kills — all keyed on the 0-based send
+    index, so runs replay identically.  ``recv`` passes through.
+    """
+
+    def __init__(self, inner: Transport, faults: FaultSchedule) -> None:
+        self.inner = inner
+        self.faults = faults
+        self.sent = 0
+        self._held: bytes | None = None
+
+    async def send(self, payload: bytes) -> None:
+        index = self.sent
+        self.sent += 1
+        if index in self.faults.kill:
+            await self.aclose()
+            raise ConnectionClosed(f"fault schedule killed the link at frame {index}")
+        if index in self.faults.drop:
+            return
+        delay = self.faults.latency + self.faults.extra_delay.get(index, 0.0)
+        if delay:
+            await asyncio.sleep(delay)
+        if index in self.faults.swap:
+            if self._held is not None:
+                await self.inner.send(self._held)
+            self._held = payload
+            return
+        await self.inner.send(payload)
+        if index in self.faults.dup:
+            await self.inner.send(payload)
+        if self._held is not None:
+            held, self._held = self._held, None
+            await self.inner.send(held)
+
+    async def recv(self) -> bytes:
+        return await self.inner.recv()
+
+    async def aclose(self) -> None:
+        if self._held is not None:
+            held, self._held = self._held, None
+            try:
+                await self.inner.send(held)
+            except (ConnectionClosed, OSError):
+                pass
+        await self.inner.aclose()
+
+    @property
+    def peername(self) -> str:
+        return self.inner.peername

@@ -18,7 +18,7 @@ from .trace import SpanRecord
 #: listed here sort alphabetically after these.
 PHASE_ORDER = (
     "build", "submit", "inventory", "commit", "reveal",
-    "verify", "certify", "output", "blame",
+    "verify", "certify", "output", "blame", "checkpoint",
 )
 
 
