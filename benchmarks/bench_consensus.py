@@ -1,0 +1,154 @@
+"""Consensus benchmarks: certificate overhead and view-change recovery.
+
+Two costs the Byzantine-tolerant control plane adds on top of the plain
+coordinator, measured so a deployer can see what the accountability
+buys:
+
+* **Certificate overhead per round** — the certify phase (leader
+  proposal, M votes, certificate assembly) as a multiplier over the rest
+  of the round, at 8 and 32 clients.  Acceptance: ≤ 1.3× per-round time.
+* **View-change recovery latency** — how long a round takes when its
+  rotation leader stalls: the view timer fires, leadership rotates, the
+  next server re-proposes.  Recovery beyond the timer itself must fit
+  within one round period, and the recovered transcript is asserted
+  bit-identical to the unfaulted baseline before anything is timed.
+
+Writes ``benchmarks/BENCH_consensus.json`` (uploaded by the CI byzantine
+job, one artifact per group backend).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.consensus import leader_index
+from repro.core.adversary import StallingLeader
+from repro.core.config import Policy
+from repro.net.runner import NetworkedSession
+
+_REPORT: dict = {}
+
+NUM_SERVERS = 3
+SEED = 2012
+ROUNDS = 4
+
+# Small retry budget => the node view timer fires in ~0.3 s instead of
+# minutes; the coordinator barrier stays generous so it never races the
+# view change it is supposed to outlast.
+FAST_VIEWS = dict(
+    reconnect_attempts=2, reconnect_base_delay=0.1, reconnect_max_delay=0.2
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Write everything the module measured to BENCH_consensus.json."""
+    yield
+    if _REPORT:
+        path = Path(__file__).with_name("BENCH_consensus.json")
+        path.write_text(json.dumps(_REPORT, indent=2, sort_keys=True) + "\n")
+
+
+def _build(num_clients, **kwargs):
+    # No explicit group: DISSENT_GROUP_BACKEND steers the benchmark, so
+    # the CI byzantine job re-emits the artifact per backend.
+    kwargs.setdefault("num_servers", NUM_SERVERS)
+    kwargs.setdefault("seed", SEED)
+    kwargs.setdefault("mode", "loopback")
+    return NetworkedSession.build(num_clients=num_clients, **kwargs)
+
+
+def _drive(session, num_clients, rounds=ROUNDS):
+    session.setup()
+    for i in range(min(num_clients, 4)):
+        session.post(i, bytes([i + 1]) * 24)
+    return [session.run_round() for _ in range(rounds)]
+
+
+def _hist_mean(snapshot, name):
+    hist = snapshot["histograms"][name]
+    return hist["sum"] / hist["count"] if hist["count"] else 0.0
+
+
+@pytest.mark.parametrize("num_clients", [8, 32])
+def test_bench_certificate_overhead(num_clients, capsys):
+    """Certify phase cost as a multiplier over the rest of the round."""
+    with _build(num_clients) as session:
+        records = _drive(session, num_clients)
+        snapshot = session.metrics()
+    assert all(r.certificate is not None and r.certificate.view == 0 for r in records)
+    round_mean = _hist_mean(snapshot, "span.round")
+    certify_mean = _hist_mean(snapshot, "span.phase.certify")
+    overhead = round_mean / (round_mean - certify_mean)
+    _REPORT[f"certificate_overhead_{num_clients}_clients"] = {
+        "num_clients": num_clients,
+        "rounds": ROUNDS,
+        "round_mean_ms": round(round_mean * 1e3, 3),
+        "certify_mean_ms": round(certify_mean * 1e3, 3),
+        "overhead_ratio": round(overhead, 4),
+    }
+    with capsys.disabled():
+        print()
+        print(
+            f"{num_clients} clients: round {round_mean * 1e3:.1f} ms, "
+            f"certify {certify_mean * 1e3:.1f} ms -> {overhead:.2f}x overhead"
+        )
+    # Acceptance: quorum certification costs at most 1.3x the round.
+    assert overhead <= 1.3
+
+
+def test_bench_view_change_recovery(capsys):
+    """Round latency when the rotation leader stalls and the view rotates."""
+    num_clients = 8
+    policy = Policy(**FAST_VIEWS)
+    view_timer = min(policy.retry_policy().budget(), policy.barrier_timeout)
+
+    with _build(num_clients, policy=policy, timeout=30.0) as session:
+        t0 = time.perf_counter()
+        baseline_records = _drive(session, num_clients)
+        baseline_period = (time.perf_counter() - t0) / ROUNDS
+        leader = leader_index(
+            session.definition.group_id(), 0, 0, 0, NUM_SERVERS
+        )
+
+    with _build(
+        num_clients,
+        policy=policy,
+        timeout=30.0,
+        server_factories={leader: (StallingLeader, {})},
+    ) as session:
+        session.setup()
+        for i in range(4):
+            session.post(i, bytes([i + 1]) * 24)
+        t0 = time.perf_counter()
+        faulted_first = session.run_round()
+        faulted_round_s = time.perf_counter() - t0
+        records = [faulted_first] + [
+            session.run_round() for _ in range(ROUNDS - 1)
+        ]
+
+    # Bit-identical transcript first, timing claims second.
+    assert records == baseline_records
+    assert faulted_first.certificate.view >= 1
+    assert faulted_first.certificate.leader != leader
+    recovery_s = max(0.0, faulted_round_s - view_timer)
+    _REPORT["view_change_recovery"] = {
+        "num_clients": num_clients,
+        "view_timer_seconds": round(view_timer, 4),
+        "baseline_round_seconds": round(baseline_period, 4),
+        "faulted_round_seconds": round(faulted_round_s, 4),
+        "recovery_after_timer_seconds": round(recovery_s, 4),
+    }
+    with capsys.disabled():
+        print()
+        print(
+            f"view change: timer {view_timer * 1e3:.0f} ms, stalled round "
+            f"{faulted_round_s * 1e3:.0f} ms, recovery after timer "
+            f"{recovery_s * 1e3:.0f} ms (baseline round "
+            f"{baseline_period * 1e3:.0f} ms)"
+        )
+    # Acceptance: once the timer fires, re-proposal + votes + certificate
+    # complete within one round period (generous floor for CI jitter).
+    assert recovery_s <= max(baseline_period, 0.5)

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Byzantine control plane live: leader dies mid-session, session survives.
+
+Builds a 3-server group whose round leadership rotates deterministically,
+then walks the crash story end to end:
+
+* a healthy round commits under a full 3-signature quorum certificate;
+* the next round's leader crashes at proposal time (it assembled the
+  output, then went silent) — the view timer fires on the surviving
+  servers, leadership rotates, and the round still commits, certified at
+  view 1 by the remaining quorum;
+* the crashed server is then killed outright through the chaos harness
+  and restarted from its own durable checkpoint, after which rounds
+  certify at view 0 with all three signatures again.
+
+Every committed round prints its certificate (view, leader, voters), so
+you can watch proposal authority move while the round outputs — which no
+leader can influence — stay exactly what the DC-net combined.
+"""
+
+import argparse
+import tempfile
+
+from repro.consensus import leader_index
+from repro.core.adversary import StallingLeader
+from repro.core.config import Policy
+from repro.net.runner import NetworkedSession
+
+NUM_SERVERS = 3
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument(
+        "--tcp",
+        action="store_true",
+        help="run the nodes over real localhost TCP sockets",
+    )
+    args = parser.parse_args(argv)
+
+    # Small retry budget: the surviving servers' view timer fires in
+    # ~0.3 s instead of minutes.  The coordinator barrier (timeout=30)
+    # stays generous — it must outlast the view change, never race it.
+    policy = Policy(
+        reconnect_attempts=2, reconnect_base_delay=0.1, reconnect_max_delay=0.2
+    )
+    mode = "tcp" if args.tcp else "loopback"
+
+    # The rotation is a pure function of public data, so we can compute
+    # round 1's leader before the session starts — that is the server we
+    # arrange to crash at proposal time.
+    with NetworkedSession.build(
+        num_servers=NUM_SERVERS,
+        num_clients=args.clients,
+        seed=args.seed,
+        policy=policy,
+        mode=mode,
+    ) as probe:
+        group_id = probe.definition.group_id()
+    doomed = leader_index(group_id, 0, 1, 0, NUM_SERVERS)
+    print(
+        f"leader rotation (epoch 0): "
+        f"{[leader_index(group_id, 0, r, 0, NUM_SERVERS) for r in range(args.rounds)]}"
+    )
+    print(f"server-{doomed} will crash while leading round 1\n")
+
+    view_timer = min(policy.retry_policy().budget(), policy.barrier_timeout)
+    with tempfile.TemporaryDirectory() as checkpoints:
+        with NetworkedSession.build(
+            num_servers=NUM_SERVERS,
+            num_clients=args.clients,
+            seed=args.seed,
+            policy=policy,
+            mode=mode,
+            timeout=30.0,
+            server_factories={doomed: (StallingLeader, {"stall_once": True})},
+            checkpoint_dir=checkpoints,
+        ) as session:
+            session.setup()
+            for i in range(args.clients):
+                session.post(i, f"message {i} survives the crash".encode())
+
+            records = []
+            for r in range(args.rounds):
+                if r == 2:
+                    # The stalled leader now dies for real; the chaos
+                    # harness brings it back from its own checkpoint.
+                    victim = session.node_name("server", doomed)
+                    session.kill_node("server", doomed)
+                    session.wait_dark(victim, timeout=10.0)
+                    print(f"  server-{doomed} killed; restarting from checkpoint")
+                    session.restart_node("server", doomed)
+                    session.wait_live(victim, timeout=10.0)
+                record = session.run_round()
+                records.append(record)
+                cert = record.certificate
+                note = ""
+                if cert.view > 0:
+                    note = (
+                        f"  <- view change: leader server-{doomed} silent, "
+                        f"timer ({view_timer * 1e3:.0f} ms) rotated to "
+                        f"server-{cert.leader}"
+                    )
+                print(
+                    f"round {record.round_number}: certified view={cert.view} "
+                    f"leader=server-{cert.leader} "
+                    f"voters={[f'server-{j}' for j in cert.voters]}{note}"
+                )
+                cert.verify(session.definition)
+
+            assert records[1].certificate.view >= 1
+            assert records[1].certificate.leader != doomed
+            assert all(r.completed for r in records)
+
+            counters = session.metrics()["counters"]
+            print(
+                f"\nview changes: {counters.get('consensus.views_changed', 0)}, "
+                f"certificates formed: {counters.get('consensus.certs_formed', 0)}, "
+                f"servers convicted: {counters.get('session.servers_convicted', 0)}"
+                " (crashing is not a crime)"
+            )
+            delivered = session.delivered_messages(0)
+            print(f"delivered to client-0 despite the crash: {len(delivered)} messages")
+            for round_number, slot, message in delivered[: args.clients]:
+                print(f"  round {round_number}, slot {slot}: {message.decode()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

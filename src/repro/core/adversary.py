@@ -14,6 +14,21 @@ sessions and asserts that tracing convicts exactly the guilty party:
   during tracing (exposed by the client's DLEQ rebuttal).
 * :class:`WithholdingServer` — refuses to produce the signed client
   evidence it owes during tracing (caught by trace case (a)).
+
+Consensus-layer (control-plane) adversaries, driven through the same
+chaos harness in all three transport modes:
+
+* :class:`EquivocatingLeader` — signs two conflicting proposals when it
+  holds the leadership (convicted by a transferable equivocation proof
+  and expelled from the rotation).
+* :class:`StallingLeader` — proposes nothing when it leads (the view
+  timer rotates leadership past it).
+* :class:`VoteWithholdingServer` — never votes (the barrier timer falls
+  back to a majority certificate whose absent signature names it).
+
+All adversaries are module-level classes taking keyword knobs on top of
+the honest constructor, so the subprocess transport can respawn them
+from a ``"module:Class"`` spec.
 """
 
 from __future__ import annotations
@@ -168,3 +183,86 @@ class WithholdingServer(DissentServer):
             client_envelopes={},
             pair_bits=disclosure.pair_bits,
         )
+
+
+class EquivocatingLeader(DissentServer):
+    """A leader that signs two conflicting proposals for one round.
+
+    The second proposal carries a digest for an output no honest server
+    computed, so honest peers never vote for it — but both proposals are
+    validly signed, which is exactly the transferable evidence that
+    convicts this server and expels it from the rotation.  Equivocates
+    once by default (``equivocate_once=True``); after conviction it is
+    never asked to lead again, so the flag only matters for tests that
+    re-run leadership manually.
+    """
+
+    def __init__(self, *args, equivocate_once: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.equivocate_once = equivocate_once
+        self.equivocated = False
+
+    def propose_round(self, output, view: int = 0):
+        from repro.consensus.certificate import output_body_digest
+        from repro.net.message import LEADER_PROPOSE, make_envelope
+        from repro.net.wire import encode_consensus_body
+
+        proposals = super().propose_round(output, view=view)
+        if self.equivocate_once and self.equivocated:
+            return proposals
+        self.equivocated = True
+        import hashlib
+
+        honest_digest = output_body_digest(self.group, output)
+        forged_digest = hashlib.sha256(b"equivocation|" + honest_digest).digest()
+        proposals.append(
+            make_envelope(
+                self.key,
+                LEADER_PROPOSE,
+                self.name,
+                self.group_id,
+                output.round_number,
+                encode_consensus_body(view, forged_digest),
+            )
+        )
+        return proposals
+
+
+class StallingLeader(DissentServer):
+    """A leader that goes silent at proposal time.
+
+    Indistinguishable, to its peers, from a leader that crashed between
+    assembling the output and proposing it — both are recovered by the
+    same view change.  ``stall_once=True`` stalls only the first
+    leadership (the deterministic trigger the consensus demo uses);
+    ``False`` stalls every time this server leads.
+    """
+
+    def __init__(self, *args, stall_once: bool = False, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.stall_once = stall_once
+        self.stalled = False
+
+    def propose_round(self, output, view: int = 0):
+        if self.stall_once and self.stalled:
+            return super().propose_round(output, view=view)
+        self.stalled = True
+        return []
+
+
+class VoteWithholdingServer(DissentServer):
+    """A server that never votes on proposals.
+
+    Cannot halt the session: past the barrier timer the leader commits a
+    majority certificate, and the certificate's missing signature is
+    attributable evidence of who sat out.
+    """
+
+    def __init__(self, *args, withhold_votes: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.withhold_votes = withhold_votes
+
+    def vote_on_proposal(self, proposal, output, view: int = 0):
+        if self.withhold_votes:
+            return None
+        return super().vote_on_proposal(proposal, output, view=view)

@@ -101,6 +101,12 @@ class Policy:
         peer_outbox_frames: how many sent frames the hub retains per peer
             for reconnect replay; a node that falls further behind than
             this must restart from a checkpoint instead of resuming.
+        barrier_timeout: seconds the coordinator waits on a collective
+            round barrier, and the ceiling on a server's consensus view
+            timer (the effective timer is ``min(retry budget,
+            barrier_timeout)``, so tightening the reconnect knobs
+            tightens view changes too).  Replaces the old hardcoded
+            coordinator wait.
     """
 
     alpha: float = 0.9
@@ -119,6 +125,7 @@ class Policy:
     reconnect_base_delay: float = 0.05
     reconnect_max_delay: float = 2.0
     peer_outbox_frames: int = 512
+    barrier_timeout: float = 120.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -157,6 +164,8 @@ class Policy:
             raise ConfigError("reconnect delays must be non-negative")
         if self.peer_outbox_frames < 1:
             raise ConfigError("peer_outbox_frames must be positive")
+        if self.barrier_timeout <= 0:
+            raise ConfigError("barrier_timeout must be positive")
 
     def to_dict(self) -> dict:
         return {
@@ -176,6 +185,7 @@ class Policy:
             "reconnect_base_delay": self.reconnect_base_delay,
             "reconnect_max_delay": self.reconnect_max_delay,
             "peer_outbox_frames": self.peer_outbox_frames,
+            "barrier_timeout": self.barrier_timeout,
         }
 
     def retry_policy(self, seed: int = 0):

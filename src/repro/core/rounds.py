@@ -10,7 +10,7 @@ an upstream server silently dropping their ciphertexts.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.hashing import sha256
 from repro.crypto.schnorr import Signature
@@ -77,6 +77,11 @@ class RoundRecord:
     participation: int
     output: RoundOutput | None
     shuffle_requested: bool = False
+    #: Quorum certificate from the server control plane (None for failed
+    #: rounds and engines that skip consensus, e.g. the pipelined driver).
+    #: Excluded from equality: two records describe the same round outcome
+    #: whether or not a certificate was archived alongside it.
+    certificate: object | None = field(compare=False, default=None)
 
     @property
     def completed(self) -> bool:

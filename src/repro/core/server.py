@@ -40,11 +40,14 @@ from repro.crypto.schnorr import Signature, sign as schnorr_sign
 from repro.errors import CommitmentMismatch, ProtocolError
 from repro.net.message import (
     CLIENT_CIPHERTEXT,
+    LEADER_PROPOSE,
     ROUND_OUTPUT,
     SERVER_COMMIT,
     SERVER_INVENTORY,
     SERVER_REVEAL,
     SERVER_SIGNATURE,
+    SERVER_VOTE,
+    VIEW_CHANGE,
     SignedEnvelope,
     batch_verify_envelopes,
     make_envelope,
@@ -608,6 +611,81 @@ class DissentServer:
             self.group_id,
             output.round_number,
             encode_round_output_body(self.group, output),
+        )
+
+    def propose_round(self, output: RoundOutput, view: int = 0) -> list[SignedEnvelope]:
+        """Leader entry point: signed proposal(s) for the assembled output.
+
+        Returns a list so Byzantine subclasses can equivocate (two
+        conflicting proposals) or stall (an empty list); the honest
+        implementation proposes exactly once.  Signing is deterministic,
+        so proposing consumes no randomness and cannot perturb the
+        session's RNG streams.
+        """
+        from repro.consensus.certificate import output_body_digest
+        from repro.net.wire import encode_consensus_body
+
+        return [
+            make_envelope(
+                self.key,
+                LEADER_PROPOSE,
+                self.name,
+                self.group_id,
+                output.round_number,
+                encode_consensus_body(view, output_body_digest(self.group, output)),
+            )
+        ]
+
+    def vote_on_proposal(
+        self, proposal: SignedEnvelope, output: RoundOutput, view: int = 0
+    ) -> SignedEnvelope | None:
+        """Counter-sign a leader proposal that matches our own output.
+
+        A vote is only issued when the proposed digest equals the hash of
+        the output *this* server assembled from its own envelope batches —
+        the leader coordinates the commit, it cannot steer the value.
+        Returns ``None`` for a proposal from another round/view or one
+        that conflicts with the local output; the engine counts the
+        rejection and lets the barrier timer drive a view change.
+        Byzantine subclasses return ``None`` to withhold.
+        """
+        from repro.consensus.certificate import (
+            output_body_digest,
+            proposal_view_digest,
+        )
+        from repro.net.wire import encode_consensus_body
+
+        if proposal.msg_type != LEADER_PROPOSE:
+            raise ProtocolError("vote requested on a non-proposal envelope")
+        if proposal.round_number != output.round_number:
+            return None
+        proposal_view, digest = proposal_view_digest(proposal)
+        if proposal_view != view:
+            return None
+        if digest != output_body_digest(self.group, output):
+            return None
+        return make_envelope(
+            self.key,
+            SERVER_VOTE,
+            self.name,
+            self.group_id,
+            output.round_number,
+            encode_consensus_body(view, digest),
+        )
+
+    def view_change_envelope(
+        self, round_number: int, new_view: int, reason: str = ""
+    ) -> SignedEnvelope:
+        """Announce adoption of ``new_view`` for a stuck round."""
+        from repro.net.wire import encode_view_change_body
+
+        return make_envelope(
+            self.key,
+            VIEW_CHANGE,
+            self.name,
+            self.group_id,
+            round_number,
+            encode_view_change_body(new_view, reason),
         )
 
     def assemble_output(self, signatures: list[Signature]) -> RoundOutput:

@@ -32,6 +32,10 @@ SERVER_SIGNATURE = "server-signature"
 ROUND_OUTPUT = "round-output"
 SHUFFLE_SUBMISSION = "shuffle-submission"
 ACCUSATION_REVEAL = "accusation-reveal"
+# Consensus control plane (leader rotation / round certificates).
+LEADER_PROPOSE = "leader-propose"
+SERVER_VOTE = "server-vote"
+VIEW_CHANGE = "view-change"
 
 _KNOWN_TYPES = {
     CLIENT_CIPHERTEXT,
@@ -42,6 +46,9 @@ _KNOWN_TYPES = {
     ROUND_OUTPUT,
     SHUFFLE_SUBMISSION,
     ACCUSATION_REVEAL,
+    LEADER_PROPOSE,
+    SERVER_VOTE,
+    VIEW_CHANGE,
 }
 
 

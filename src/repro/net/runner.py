@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import dataclasses
+import hashlib
 import json
 import os
 import random
@@ -58,6 +60,7 @@ from repro.core.keyshuffle import (
 from repro.core.rounds import QuietOutcome, RoundRecord, RoundStatus
 from repro.core.server import DissentServer
 from repro.core.session import build_keys
+from repro.consensus.certificate import find_invalid_votes
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.shuffle import message_vector_width
 from repro.errors import (
@@ -65,6 +68,8 @@ from repro.errors import (
     ConnectionClosed,
     DissentError,
     GroupBackendMismatch,
+    InvalidProof,
+    InvalidSignature,
     PeerUnreachable,
     ProtocolError,
     SessionTimeout,
@@ -114,7 +119,9 @@ from repro.net.transport import (
 from repro.net.wire import (
     RoutedFrame,
     decode_accusation_reveal_body,
+    decode_certificate_body,
     decode_envelope,
+    decode_equivocation_proof_body,
     decode_rebuttal,
     decode_round_output_body,
     decode_routed,
@@ -132,15 +139,19 @@ from repro.obs import (
 from repro.persist.audit import AuditLog
 from repro.persist.checkpoint import read_checkpoint, write_checkpoint
 from repro.persist.codec import (
+    decode_equivocation_proof,
     decode_record,
     decode_rng_state,
+    encode_equivocation_proof,
     encode_record,
     encode_rng_state,
 )
 from repro.util.serialization import canonical_json, pack_fields, unpack_fields
 
-#: Seconds a coordinator barrier waits for node traffic before declaring
-#: the session wedged.  Generous: real crypto on small CI machines.
+#: Fallback for the coordinator barrier wait, matching the
+#: :class:`~repro.core.config.Policy` default.  The live value is the
+#: ``barrier_timeout`` policy knob — pass ``timeout=None`` (the default)
+#: to :class:`NetworkedSession` to pick it up from the group definition.
 DEFAULT_TIMEOUT = 120.0
 
 MODES = ("loopback", "tcp", "subprocess")
@@ -459,7 +470,7 @@ class NetworkedSession:
         client_seeds: Sequence[int] | None = None,
         server_factories: dict | None = None,
         client_factories: dict | None = None,
-        timeout: float = DEFAULT_TIMEOUT,
+        timeout: float | None = None,
         telemetry: bool | None = None,
         faults: Mapping[str, FaultSchedule] | None = None,
         checkpoint_dir: str | None = None,
@@ -470,7 +481,11 @@ class NetworkedSession:
         self.definition = definition
         self.mode = mode
         self.rng = rng
-        self.timeout = timeout
+        # None picks up the serialized policy knob, so a restored session
+        # waits exactly as long as the one that wrote the checkpoint.
+        self.timeout = (
+            timeout if timeout is not None else definition.policy.barrier_timeout
+        )
         # Telemetry only ever reads clocks and bumps counters, so the
         # default is on: the merged cross-process view is the whole point
         # of running networked.  Pass False to strip it entirely.
@@ -485,6 +500,9 @@ class NetworkedSession:
         self.records: list[RoundRecord] = []
         self.expelled: set[int] = set()
         self.convicted_servers: set[int] = set()
+        #: Transferable equivocation proofs collected from round barriers;
+        #: archived in checkpoints so a conviction survives a restart.
+        self.equivocation_proofs: list = []
         self.scheduled = False
         self._server_keys = list(server_keys)
         self._client_keys = list(client_keys)
@@ -541,7 +559,7 @@ class NetworkedSession:
         mode: str = "loopback",
         server_factories: dict | None = None,
         client_factories: dict | None = None,
-        timeout: float = DEFAULT_TIMEOUT,
+        timeout: float | None = None,
         telemetry: bool | None = None,
         faults: Mapping[str, FaultSchedule] | None = None,
         checkpoint_dir: str | None = None,
@@ -1160,17 +1178,32 @@ class NetworkedSession:
 
             output_blobs = set()
             shuffle_requested = False
+            certificates: dict[int, object] = {}
+            proofs: dict[int, object] = {}
             for frame in dones:
-                _, flag, blob = unpack_fields(frame.body)
+                fields = unpack_fields(frame.body)
+                if len(fields) < 3:
+                    raise ProtocolError("round-done frame is missing fields")
+                _, flag, blob = fields[:3]
                 shuffle_requested = shuffle_requested or bool(flag)
                 output_blobs.add(blob)
+                sender = definition.server_index_of(frame.sender)
+                if len(fields) > 3 and fields[3]:
+                    certificates[sender] = decode_certificate_body(
+                        definition.group, fields[3]
+                    )
+                if len(fields) > 4 and fields[4]:
+                    proofs[sender] = decode_equivocation_proof_body(
+                        definition.group, fields[4]
+                    )
             if len(output_blobs) != 1:
                 raise ProtocolError(
                     "servers disagree on the combined cleartext"
                 )
-            output = decode_round_output_body(
-                definition.group, output_blobs.pop()
-            )
+            blob = output_blobs.pop()
+            output = decode_round_output_body(definition.group, blob)
+            certificate = self._adopt_certificate(r, blob, certificates)
+            self._adopt_proofs(r, proofs)
 
             record = RoundRecord(
                 round_number=r,
@@ -1178,12 +1211,108 @@ class NetworkedSession:
                 participation=participation,
                 output=output,
                 shuffle_requested=shuffle_requested,
+                certificate=certificate,
             )
             self.records.append(record)
         self.registry.counter("session.rounds_completed").inc()
         if shuffle_requested:
             self.registry.counter("session.shuffle_requests").inc()
         return record
+
+    def _adopt_certificate(self, r: int, blob: bytes, certificates: dict):
+        """Pick, verify, and archive one round certificate.
+
+        Servers may legitimately report different-but-valid certificates
+        for one round (a full one and a majority one cut at the barrier
+        timer); the coordinator tries candidates strongest-first — most
+        votes, then lowest view, then lowest reporting server — and
+        adopts the first that verifies against the group definition and
+        certifies exactly the output blob every server agreed on.  A
+        candidate carrying forged votes is repaired by stripping them;
+        if no quorum survives, the next candidate is tried.
+        """
+        if not certificates:
+            raise ProtocolError(f"round {r}: no server reported a certificate")
+        expected = hashlib.sha256(blob).digest()
+        candidates = sorted(
+            certificates.items(),
+            key=lambda item: (-len(item[1].votes), item[1].view, item[0]),
+        )
+        certificate = None
+        failure: DissentError | None = None
+        for sender, candidate in candidates:
+            if candidate.round_number != r:
+                failure = ProtocolError(
+                    f"round {r}: server {sender} certified round "
+                    f"{candidate.round_number}"
+                )
+                continue
+            if candidate.digest != expected:
+                failure = ProtocolError(
+                    f"round {r}: certificate digest does not match the "
+                    "round output"
+                )
+                continue
+            # Nodes record vote signatures unverified (the voter already
+            # knows its own output); the coordinator authenticates the
+            # one certificate the session adopts.  A forged vote is
+            # stripped here — the honest quorum underneath still commits
+            # the round, so vote forgery cannot halt the session.
+            bad = find_invalid_votes(
+                self.definition,
+                candidate.round_number,
+                candidate.view,
+                candidate.digest,
+                dict(candidate.votes),
+            )
+            if bad:
+                self.registry.counter("session.votes_stripped").inc(len(bad))
+                candidate = dataclasses.replace(
+                    candidate,
+                    votes=tuple(
+                        (j, s) for j, s in candidate.votes if j not in bad
+                    ),
+                )
+            try:
+                candidate.verify(self.definition)
+            except (InvalidProof, InvalidSignature) as exc:
+                failure = exc
+                continue
+            certificate = candidate
+            break
+        if certificate is None:
+            assert failure is not None
+            raise failure
+        if certificate.view > 0:
+            self.registry.counter("session.view_changes_committed").inc()
+            if self.audit is not None:
+                self.audit.append(
+                    "view_change",
+                    round=r,
+                    views=certificate.view,
+                    leader=certificate.leader,
+                    votes=len(certificate.votes),
+                )
+        return certificate
+
+    def _adopt_proofs(self, r: int, proofs: dict) -> None:
+        """Verify reported equivocation proofs and convict their leaders."""
+        for sender in sorted(proofs):
+            proof = proofs[sender]
+            if proof.leader in self.convicted_servers:
+                continue
+            proof.verify(self.definition)
+            self.convicted_servers.add(proof.leader)
+            self.equivocation_proofs.append(proof)
+            self.registry.counter("session.servers_convicted").inc()
+            if self.audit is not None:
+                self.audit.append(
+                    "equivocation",
+                    round=proof.round_number,
+                    view=proof.view,
+                    leader=proof.leader,
+                    reported_by=sender,
+                )
 
     async def _abandon_round_async(self, r: int, reason: str) -> RoundRecord:
         """Give up on a wedged round (§3.7) instead of hanging the group.
@@ -1482,6 +1611,10 @@ class NetworkedSession:
             "records": [encode_record(group, record) for record in self.records],
             "expelled": sorted(self.expelled),
             "convicted_servers": sorted(self.convicted_servers),
+            "equivocation_proofs": [
+                encode_equivocation_proof(group, proof)
+                for proof in self.equivocation_proofs
+            ],
             "scheduled": self.scheduled,
             "slot_elements": [format(e, "x") for e in self._slot_elements],
             "rng_state": encode_rng_state(self.rng.getstate()),
@@ -1504,7 +1637,7 @@ class NetworkedSession:
         cls,
         path: str | os.PathLike,
         mode: str | None = None,
-        timeout: float = DEFAULT_TIMEOUT,
+        timeout: float | None = None,
         telemetry: bool | None = None,
         faults: Mapping[str, FaultSchedule] | None = None,
         checkpoint_dir: str | None = None,
@@ -1549,6 +1682,10 @@ class NetworkedSession:
         ]
         session.expelled = set(payload["expelled"])
         session.convicted_servers = set(payload["convicted_servers"])
+        session.equivocation_proofs = [
+            decode_equivocation_proof(group, blob)
+            for blob in payload.get("equivocation_proofs", ())
+        ]
         session.scheduled = bool(payload["scheduled"])
         session._slot_elements = [int(value, 16) for value in payload["slot_elements"]]
         session._resume_payloads = dict(payload["nodes"])

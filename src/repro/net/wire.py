@@ -22,6 +22,9 @@ server-signature    :func:`encode_signature_body`
 round-output        :func:`encode_round_output_body`
 shuffle-submission  :func:`encode_shuffle_submission_body`
 accusation-reveal   :func:`encode_disclosure_body`
+leader-propose      :func:`encode_consensus_body`
+server-vote         :func:`encode_consensus_body`
+view-change         :func:`encode_view_change_body`
 ================== ====================================================
 
 Decoding raises typed errors (:class:`~repro.errors.WireDecodeError` and
@@ -314,6 +317,75 @@ def decode_round_output_body(group: Group, body: bytes) -> RoundOutput:
         participation=participation,
         signatures=tuple(signatures),
     )
+
+
+def encode_consensus_body(view: int, digest: bytes) -> bytes:
+    """Body of a ``leader-propose`` or ``server-vote`` envelope.
+
+    Proposals and votes deliberately share one layout — ``(view,
+    digest)`` — because a vote is the voter's counter-signature over the
+    same statement the leader proposed.  The envelope's type tag and
+    sender (both signature-covered) disambiguate the role.
+    """
+    return pack_fields(view, digest)
+
+
+def decode_consensus_body(body: bytes) -> tuple[int, bytes]:
+    fields = _unpack(body, "consensus body")
+    if len(fields) != 2:
+        raise WireDecodeError("consensus body needs exactly 2 fields")
+    view = _take(fields, 0, int, "consensus body")
+    digest = _take(fields, 1, bytes, "consensus body")
+    if len(digest) != 32:
+        raise WireDecodeError(
+            f"consensus digest must be 32 bytes, got {len(digest)}"
+        )
+    return view, digest
+
+
+def encode_view_change_body(new_view: int, reason: str) -> bytes:
+    """Body of a ``view-change`` envelope: the view to adopt, plus why."""
+    return pack_fields(new_view, reason)
+
+
+def decode_view_change_body(body: bytes) -> tuple[int, str]:
+    fields = _unpack(body, "view change body")
+    if len(fields) != 2:
+        raise WireDecodeError("view change body needs exactly 2 fields")
+    return (
+        _take(fields, 0, int, "view change body"),
+        _take(fields, 1, str, "view change body"),
+    )
+
+
+def encode_certificate_body(group: Group, certificate) -> bytes:
+    """Canonical bytes of a :class:`repro.consensus.RoundCertificate`."""
+    return certificate.to_wire(group)
+
+
+def decode_certificate_body(group: Group, body: bytes):
+    from repro.consensus.certificate import RoundCertificate
+    from repro.errors import InvalidProof
+
+    try:
+        return RoundCertificate.from_wire(group, body)
+    except (InvalidProof, InvalidSignature) as exc:
+        raise WireDecodeError(f"round certificate: {exc}") from exc
+
+
+def encode_equivocation_proof_body(group: Group, proof) -> bytes:
+    """Canonical bytes of a :class:`repro.consensus.EquivocationProof`."""
+    return proof.to_wire(group)
+
+
+def decode_equivocation_proof_body(group: Group, body: bytes):
+    from repro.consensus.certificate import EquivocationProof
+    from repro.errors import InvalidProof
+
+    try:
+        return EquivocationProof.from_wire(group, body)
+    except (InvalidProof, InvalidSignature) as exc:
+        raise WireDecodeError(f"equivocation proof: {exc}") from exc
 
 
 def encode_shuffle_submission_body(

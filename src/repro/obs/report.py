@@ -3,10 +3,15 @@
 Usage::
 
     PYTHONPATH=src python -m repro.obs.report METRICS_demo.json [--full]
+        [--audit AUDIT.ndjson]
 
 Reads a JSON registry snapshot (as written by ``snapshot_json`` or the
 networked demo's ``--metrics-out``) and prints the per-phase latency
 table; ``--full`` appends the complete counter/gauge/histogram listing.
+``--audit`` additionally verifies and summarizes a hash-chained audit
+log: every event kind present is counted (unknown kinds are listed, not
+skipped), and control-plane events — ``view_change`` and
+``equivocation`` — are itemized with their round, view, and leader.
 """
 
 from __future__ import annotations
@@ -16,13 +21,64 @@ import sys
 
 from .export import phase_table, render_table
 
-USAGE = "usage: python -m repro.obs.report SNAPSHOT.json [--full]"
+USAGE = (
+    "usage: python -m repro.obs.report SNAPSHOT.json [--full] "
+    "[--audit AUDIT.ndjson]"
+)
+
+
+def audit_table(entries: list[dict]) -> str:
+    """Summarize audit entries: per-kind counts + consensus event detail.
+
+    Counts are taken from the entries themselves rather than a fixed
+    whitelist, so an event kind this build does not know about still
+    shows up in the report instead of being silently dropped.
+    """
+    counts: dict[str, int] = {}
+    for entry in entries:
+        kind = str(entry.get("event", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    lines = [f"{'event':<16} {'count':>5}"]
+    lines.append("-" * 22)
+    for kind in sorted(counts):
+        lines.append(f"{kind:<16} {counts[kind]:>5}")
+    if not counts:
+        lines.append("(empty log)")
+    details = []
+    for entry in entries:
+        kind = entry.get("event")
+        data = entry.get("data", {})
+        if kind == "view_change":
+            details.append(
+                f"  view_change   round={data.get('round')} "
+                f"views={data.get('views')} leader={data.get('leader')} "
+                f"votes={data.get('votes')}"
+            )
+        elif kind == "equivocation":
+            details.append(
+                f"  equivocation  round={data.get('round')} "
+                f"view={data.get('view')} leader={data.get('leader')} "
+                f"reported_by={data.get('reported_by')}"
+            )
+    if details:
+        lines.append("")
+        lines.append("control-plane events:")
+        lines.extend(details)
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     full = "--full" in argv
     argv = [a for a in argv if a != "--full"]
+    audit_path = None
+    if "--audit" in argv:
+        at = argv.index("--audit")
+        if at + 1 >= len(argv):
+            print(USAGE, file=sys.stderr)
+            return 2
+        audit_path = argv[at + 1]
+        del argv[at : at + 2]
     if len(argv) != 1 or argv[0] in ("-h", "--help"):
         print(USAGE, file=sys.stderr)
         return 2
@@ -43,6 +99,18 @@ def main(argv: list[str] | None = None) -> int:
     if full:
         print()
         print(render_table(snapshot))
+    if audit_path is not None:
+        from repro.errors import CheckpointError
+        from repro.persist.audit import read_audit_log
+
+        try:
+            entries = read_audit_log(audit_path)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print()
+        print("audit log (hash chain verified)")
+        print(audit_table(entries))
     return 0
 
 

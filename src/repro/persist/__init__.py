@@ -26,14 +26,18 @@ from repro.persist.checkpoint import (
 )
 from repro.persist.codec import (
     decode_archive,
+    decode_certificate,
     decode_client_state,
+    decode_equivocation_proof,
     decode_record,
     decode_rng_state,
     decode_scheduler,
     decode_server_state,
     decode_session_state,
     encode_archive,
+    encode_certificate,
     encode_client_state,
+    encode_equivocation_proof,
     encode_record,
     encode_rng_state,
     encode_scheduler,
@@ -50,14 +54,18 @@ __all__ = [
     "save_session",
     "restore_session",
     "decode_archive",
+    "decode_certificate",
     "decode_client_state",
+    "decode_equivocation_proof",
     "decode_record",
     "decode_rng_state",
     "decode_scheduler",
     "decode_server_state",
     "decode_session_state",
     "encode_archive",
+    "encode_certificate",
     "encode_client_state",
+    "encode_equivocation_proof",
     "encode_record",
     "encode_rng_state",
     "encode_scheduler",

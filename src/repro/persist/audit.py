@@ -25,7 +25,15 @@ from repro.util.serialization import canonical_json
 _GENESIS = "0" * 64
 
 #: Event types an entry may carry; free-form data rides alongside.
-EVENT_TYPES = ("abandon", "expulsion", "blame", "resume", "checkpoint")
+EVENT_TYPES = (
+    "abandon",
+    "expulsion",
+    "blame",
+    "resume",
+    "checkpoint",
+    "view_change",
+    "equivocation",
+)
 
 
 def _entry_digest(entry: dict) -> str:

@@ -109,6 +109,42 @@ def decode_round_output(group: Group, data: str | None) -> RoundOutput | None:
         raise CheckpointError(f"round output rejected: {exc}") from exc
 
 
+def encode_certificate(group: Group, certificate) -> str | None:
+    """A round certificate as hex of its canonical wire bytes."""
+    if certificate is None:
+        return None
+    return certificate.to_wire(group).hex()
+
+
+def decode_certificate(group: Group, data: str | None):
+    from repro.consensus.certificate import RoundCertificate
+
+    if data is None:
+        return None
+    try:
+        return RoundCertificate.from_wire(group, bytes.fromhex(data))
+    except Exception as exc:
+        raise CheckpointError(f"round certificate rejected: {exc}") from exc
+
+
+def encode_equivocation_proof(group: Group, proof) -> str | None:
+    """A transferable equivocation proof as hex of its wire bytes."""
+    if proof is None:
+        return None
+    return proof.to_wire(group).hex()
+
+
+def decode_equivocation_proof(group: Group, data: str | None):
+    from repro.consensus.certificate import EquivocationProof
+
+    if data is None:
+        return None
+    try:
+        return EquivocationProof.from_wire(group, bytes.fromhex(data))
+    except Exception as exc:
+        raise CheckpointError(f"equivocation proof rejected: {exc}") from exc
+
+
 def encode_record(group: Group, record: RoundRecord) -> dict:
     return {
         "round_number": record.round_number,
@@ -116,6 +152,7 @@ def encode_record(group: Group, record: RoundRecord) -> dict:
         "participation": record.participation,
         "output": encode_round_output(group, record.output),
         "shuffle_requested": record.shuffle_requested,
+        "certificate": encode_certificate(group, record.certificate),
     }
 
 
@@ -130,6 +167,7 @@ def decode_record(group: Group, data: dict) -> RoundRecord:
         participation=int(_require(data, "participation", "round record")),
         output=decode_round_output(group, data.get("output")),
         shuffle_requested=bool(data.get("shuffle_requested", False)),
+        certificate=decode_certificate(group, data.get("certificate")),
     )
 
 
@@ -348,6 +386,10 @@ def encode_session_state(session) -> dict:
         "records": [encode_record(group, record) for record in session.records],
         "expelled": sorted(session.expelled),
         "convicted_servers": sorted(session.convicted_servers),
+        "equivocation_proofs": [
+            encode_equivocation_proof(group, proof)
+            for proof in getattr(session, "equivocation_proofs", ())
+        ],
         "scheduled": session.scheduled,
         "rng_state": encode_rng_state(session.rng.getstate()),
         "servers": [encode_server_state(server) for server in session.servers],
@@ -367,6 +409,10 @@ def decode_session_state(session, data: dict) -> None:
     session.convicted_servers = {
         int(i) for i in _require(data, "convicted_servers", "session")
     }
+    session.equivocation_proofs = [
+        decode_equivocation_proof(group, blob)
+        for blob in data.get("equivocation_proofs", ())
+    ]
     session.scheduled = bool(_require(data, "scheduled", "session"))
     restore_rng(session.rng, _require(data, "rng_state", "session"))
     server_states = _require(data, "servers", "session")

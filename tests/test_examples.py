@@ -28,6 +28,7 @@ def load_example(name: str):
         "verdict_demo",
         "accusation_demo",
         "anonymous_browsing",
+        "consensus_demo",
         "file_sharing",
         "microblog_churn",
         "networked_demo",
@@ -53,6 +54,15 @@ def test_networked_demo_runs_reduced(capsys):
     out = capsys.readouterr().out
     assert "asyncio TCP nodes" in out
     assert "meet at the fountain at noon" in out
+
+
+def test_consensus_demo_runs_reduced(capsys):
+    module = load_example("consensus_demo")
+    assert module.main(["--clients", "4", "--rounds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "view change" in out
+    assert "certified view=1" in out
+    assert "restarting from checkpoint" in out
 
 
 def test_verdict_demo_runs_reduced(capsys):
