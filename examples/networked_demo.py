@@ -13,9 +13,12 @@ cross-process phase breakdown (paper §6 style).
 
 import argparse
 import json
+import os
 
 from repro.net.runner import NetworkedSession
+from repro.obs.critical import chrome_trace_json, trace_table
 from repro.obs.export import phase_table, snapshot_json
+from repro.obs.flight import parse_flight_dump
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,6 +36,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the merged metrics snapshot as JSON (feed to repro.obs.report)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "write the stitched cross-process trace as JSON: the raw span "
+            "events (feed to repro.obs.report --trace) plus Chrome "
+            "traceEvents loadable in ui.perfetto.dev"
+        ),
+    )
+    parser.add_argument(
+        "--health-out",
+        metavar="PATH",
+        help="write per-node health snapshots as JSON (feed to repro.obs.report --health)",
+    )
+    parser.add_argument(
+        "--flight-out",
+        metavar="DIR",
+        help="write each node's flight-recorder ring as NDJSON into DIR",
+    )
     args = parser.parse_args(argv)
 
     mode = "subprocess" if args.processes else "tcp"
@@ -41,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
         num_clients=args.clients,
         seed=2012,
         mode=mode,
+        flight_dir=args.flight_out,
     ) as session:
         tracer = session.tracer
         clock = tracer.clock
@@ -89,6 +112,31 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(snapshot_json(snapshot))
             print(f"metrics snapshot written to {args.metrics_out}")
+        if args.trace_out:
+            events = session.trace_events()
+            chrome = json.loads(chrome_trace_json(events))
+            artifact = {"events": events, "traceEvents": chrome["traceEvents"]}
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(artifact, handle, sort_keys=True, separators=(",", ":"))
+            print(f"\nstitched trace ({len(events)} spans) written to {args.trace_out}")
+            print(trace_table(events))
+        if args.health_out:
+            health = session.health()
+            with open(args.health_out, "w", encoding="utf-8") as handle:
+                json.dump(health, handle, sort_keys=True, indent=1)
+            print(f"health snapshots written to {args.health_out}")
+        if args.flight_out:
+            os.makedirs(args.flight_out, exist_ok=True)
+            written = []
+            for dump in session.flight_dumps():
+                header, _ = parse_flight_dump(dump)
+                path = os.path.join(
+                    args.flight_out, f"flight-{header['flight']}.ndjson"
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(dump)
+                written.append(path)
+            print(f"flight rings written: {len(written)} files in {args.flight_out}")
     return 0
 
 

@@ -107,6 +107,18 @@ class Policy:
             barrier_timeout)``, so tightening the reconnect knobs
             tightens view changes too).  Replaces the old hardcoded
             coordinator wait.
+        trace_sampling: whether nodes propagate and record distributed
+            round traces when telemetry is on.  Observability metadata
+            only — protocol bytes are identical either way; turning it
+            off drops the trace-context frame field and the per-node
+            span log, leaving just aggregate metrics.
+        flight_recorder_events: ring capacity of each node's flight
+            recorder (last-N spans/events dumped on failure triggers);
+            0 disables the recorder.
+        health_port: base TCP port for the per-server status endpoint
+            (``/metrics`` OpenMetrics, ``/healthz`` JSON); server *i*
+            listens on ``health_port + i``.  0 (the default) disables
+            the endpoint.
     """
 
     alpha: float = 0.9
@@ -126,6 +138,9 @@ class Policy:
     reconnect_max_delay: float = 2.0
     peer_outbox_frames: int = 512
     barrier_timeout: float = 120.0
+    trace_sampling: bool = True
+    flight_recorder_events: int = 256
+    health_port: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -166,6 +181,12 @@ class Policy:
             raise ConfigError("peer_outbox_frames must be positive")
         if self.barrier_timeout <= 0:
             raise ConfigError("barrier_timeout must be positive")
+        if not isinstance(self.trace_sampling, bool):
+            raise ConfigError("trace_sampling must be a bool")
+        if self.flight_recorder_events < 0:
+            raise ConfigError("flight_recorder_events must be >= 0")
+        if not 0 <= self.health_port <= 65535:
+            raise ConfigError("health_port must be in [0, 65535]")
 
     def to_dict(self) -> dict:
         return {
@@ -186,6 +207,9 @@ class Policy:
             "reconnect_max_delay": self.reconnect_max_delay,
             "peer_outbox_frames": self.peer_outbox_frames,
             "barrier_timeout": self.barrier_timeout,
+            "trace_sampling": self.trace_sampling,
+            "flight_recorder_events": self.flight_recorder_events,
+            "health_port": self.health_port,
         }
 
     def retry_policy(self, seed: int = 0):

@@ -32,6 +32,7 @@ from __future__ import annotations
 import asyncio
 import importlib
 import json
+import os
 import random
 import sys
 import time
@@ -85,6 +86,9 @@ from repro.net.wire import (
     encode_telemetry_body,
 )
 from repro.obs import metrics as _obs
+from repro.obs.flight import FlightRecorder
+from repro.obs.propagate import TraceContext
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.persist.checkpoint import read_checkpoint, write_checkpoint
 from repro.persist.codec import (
     decode_client_state,
@@ -123,6 +127,9 @@ K_EVIDENCE_REQUEST = "evidence-request"
 K_DISCLOSURE_REQUEST = "disclosure-request"
 K_REBUT_REQUEST = "rebut-request"
 K_TELEMETRY = "telemetry"
+K_TRACE = "trace"
+K_FLIGHT = "flight"
+K_HEALTH = "health"
 K_SNAPSHOT = "snapshot"
 K_RESTORE = "restore"
 K_SHUTDOWN = "shutdown"
@@ -185,6 +192,33 @@ class NodeRuntime:
         #: When set, the node checkpoints its own state here at every
         #: round barrier; a restarted process resumes from that file.
         self.checkpoint_path = checkpoint_path
+        policy = definition.policy
+        #: Distributed tracing: a wall-clock tracer (timestamps comparable
+        #: across processes) recording into its own span log but NOT into
+        #: the metrics registry — ``_mark_phase`` already feeds the
+        #: ``span.phase.*`` histograms, and double-counting would skew the
+        #: merged view.  Null when telemetry is off or sampling is
+        #: policy-disabled, so the hot path stays branch-free.
+        if self.registry.enabled and policy.trace_sampling:
+            self.tracer = Tracer(clock=time.time)
+        else:
+            self.tracer = NULL_TRACER
+        #: Flight recorder: the last N spans/events, dumped on failure
+        #: triggers (capacity 0 disables it entirely).
+        self.flight = FlightRecorder(
+            policy.flight_recorder_events, node=name, clock=time.time
+        )
+        #: Directory for automatic flight dumps; None keeps the ring
+        #: in-memory only (still pullable via the ``flight`` control frame).
+        self.flight_dir: str | None = None
+        #: Restore generation, bumped on every crash-recovery restore so
+        #: the coordinator can deduplicate re-shipped telemetry snapshots.
+        self.generation = 0
+        self.started_at = self._clock()
+        #: Trace context carried by the frame currently being dispatched.
+        self._inbound_trace = b""
+        #: round -> serialized context this node forwards with envelopes.
+        self._round_trace: dict[int, bytes] = {}
         #: Inbound frames processed — the resume high-water mark the hub
         #: uses to replay exactly the frames this node never saw.
         self.recv_count = 0
@@ -196,10 +230,12 @@ class NodeRuntime:
 
     # -- plumbing ------------------------------------------------------
 
-    async def _send(self, to: str, kind: str, seq: int, body: bytes) -> None:
+    async def _send(
+        self, to: str, kind: str, seq: int, body: bytes, trace: bytes = b""
+    ) -> None:
         from repro.net.wire import encode_routed
 
-        payload = encode_routed(to, self.name, kind, seq, body)
+        payload = encode_routed(to, self.name, kind, seq, body, trace)
         self.registry.counter("net.sent.frames.total").inc()
         self.registry.counter("net.sent.bytes.total").inc(len(payload))
         try:
@@ -214,7 +250,15 @@ class NodeRuntime:
         body = encode_envelope(self.group, envelope)
         self.registry.counter(f"net.sent.frames.{envelope.msg_type}").inc()
         self.registry.counter(f"net.sent.bytes.{envelope.msg_type}").inc(len(body))
-        await self._send(to, K_ENVELOPE, 0, body)
+        # The round's trace context rides outside the signed body, so
+        # receivers that ignore it still verify the envelope unchanged.
+        await self._send(
+            to,
+            K_ENVELOPE,
+            0,
+            body,
+            trace=self._round_trace.get(envelope.round_number, b""),
+        )
 
     async def _report(self, exc: Exception) -> None:
         """Tell the coordinator something went wrong; never raises."""
@@ -293,6 +337,7 @@ class NodeRuntime:
             try:
                 payload = await self.transport.recv()
             except ConnectionClosed:
+                self._flight_event("link_loss")
                 if await self._try_reconnect():
                     continue
                 break
@@ -316,6 +361,9 @@ class NodeRuntime:
         await self.transport.aclose()
 
     async def _dispatch(self, frame) -> None:
+        # Dispatch is strictly sequential per node, so a single slot for
+        # the inbound trace context is race-free.
+        self._inbound_trace = frame.trace
         try:
             result = await self.handle(frame.kind, frame.body)
         except Exception as exc:  # noqa: BLE001 — isolation is the contract
@@ -339,9 +387,24 @@ class NodeRuntime:
             self._stopped = True
             return b""
         if kind == K_TELEMETRY:
-            # Ship this node's registry snapshot to the coordinator; a
-            # disabled registry snapshots to ``{}`` and merges as a no-op.
-            return encode_telemetry_body(self.registry.snapshot())
+            # Ship this node's registry snapshot to the coordinator,
+            # wrapped with identity and restore generation so snapshots
+            # re-shipped across reconnects deduplicate instead of
+            # double-counting; a disabled registry snapshots to ``{}``
+            # and merges as a no-op.
+            return encode_telemetry_body(
+                {
+                    "node": self.name,
+                    "generation": self.generation,
+                    "snapshot": self.registry.snapshot(),
+                }
+            )
+        if kind == K_TRACE:
+            return canonical_json([e.as_dict() for e in self.tracer.events])
+        if kind == K_FLIGHT:
+            return self.flight.ndjson("manual").encode("utf-8")
+        if kind == K_HEALTH:
+            return canonical_json(self.health_snapshot())
         if kind == K_SNAPSHOT:
             return canonical_json(self._snapshot_payload())
         if kind == K_RESTORE:
@@ -363,6 +426,41 @@ class NodeRuntime:
 
     async def handle_envelope(self, envelope: SignedEnvelope) -> None:
         raise WireDecodeError(f"{self.name}: unexpected envelope {envelope.msg_type}")
+
+    # -- health and flight plane ----------------------------------------
+
+    role = "node"
+
+    def health_snapshot(self) -> dict:
+        """Cheap point-in-time liveness view (the ``/healthz`` body)."""
+        uptime = self._clock() - self.started_at
+        return {
+            "node": self.name,
+            "role": self.role,
+            "rounds_done": self.rounds_done,
+            "rounds_per_sec": self.rounds_done / uptime if uptime > 0 else 0.0,
+            "uptime_s": uptime,
+            "inflight": 0,
+            "view": 0,
+            "recv_count": self.recv_count,
+            "generation": self.generation,
+            "reconnects": self.registry.counter("net.reconnect.successes").value,
+        }
+
+    def _flight_event(self, event: str, **data) -> None:
+        """Note a failure trigger; auto-dump the ring when a dir is set."""
+        self.flight.note(event, **data)
+        if self.flight_dir and self.flight.enabled:
+            path = os.path.join(
+                self.flight_dir,
+                f"flight-{self.name}-{self.flight.dumps}-{event}.ndjson",
+            )
+            try:
+                self.flight.dump(path, event)
+            except OSError:
+                # Flight dumps are best-effort diagnostics; a full disk
+                # must not take the protocol node down.
+                pass
 
     # -- durable state --------------------------------------------------
 
@@ -438,10 +536,19 @@ class _NetRound:
         #: boundary; metric-only — never consulted by the phase machine.
         self.opened_at = 0.0
         self.last_mark = 0.0
+        #: Distributed-trace state: the coordinator's context, this node's
+        #: round span id, and wall-clock phase boundaries (cross-process
+        #: comparable).  ``trace is None`` ⇒ tracing off for this round.
+        self.trace = None
+        self.span_id = 0
+        self.wall_opened = 0.0
+        self.wall_mark = 0.0
 
 
 class ServerNode(NodeRuntime):
     """One anytrust server as a message-driven daemon."""
+
+    role = "server"
 
     def __init__(
         self,
@@ -468,6 +575,10 @@ class ServerNode(NodeRuntime):
         #: for them are dropped instead of buffered (they can never be
         #: replayed, so buffering them would only leak the early budget).
         self._completed_through = -1
+        #: Health gauges: highest view entered and the last certified
+        #: participation count (the live anonymity set).
+        self._last_view = 0
+        self._last_participation = 0
 
     # -- control handlers ----------------------------------------------
 
@@ -487,10 +598,13 @@ class ServerNode(NodeRuntime):
             return None
         if kind == K_ROUND_ABANDON:
             (round_number,) = _unpack_typed(body, "i", "round-abandon")
-            self._cancel_timer(self._require_round(round_number))
+            state = self._require_round(round_number)
+            self._cancel_timer(state)
+            self._close_trace(state, "abandoned")
             self.server.abandon_round(round_number)
             del self._rounds[round_number]
             self._mark_completed(round_number)
+            self._flight_event("abandon", round=round_number)
             self._maybe_checkpoint()
             return b""
         if kind == K_EXPEL:
@@ -530,6 +644,7 @@ class ServerNode(NodeRuntime):
         )
         state = _NetRound(round_number, expected)
         state.opened_at = state.last_mark = self._clock()
+        self._open_trace(state)
         self._rounds[round_number] = state
         for envelope in self._early.pop(round_number, []):
             self._early_count -= 1
@@ -544,6 +659,43 @@ class ServerNode(NodeRuntime):
                 await self._report(exc)
         await self._advance(state)
 
+    def _open_trace(self, state: _NetRound) -> None:
+        """Continue the coordinator's trace for this round, if any.
+
+        The node's round span id is allocated *now* so phase records can
+        parent to it as they happen; the round span itself is recorded
+        once the round closes (:meth:`_close_trace`).  The forwarded
+        context re-parents outbound envelopes onto this node's span.
+        """
+        context = TraceContext.from_bytes(self._inbound_trace)
+        if context is None or not self.tracer.enabled:
+            return
+        state.trace = context
+        state.span_id = self.tracer.allocate_id()
+        state.wall_opened = state.wall_mark = self.tracer.clock()
+        self._round_trace[state.round_number] = context.child(
+            self.name, state.span_id
+        ).to_bytes()
+
+    def _close_trace(self, state: _NetRound, status: str) -> None:
+        """Record this node's round span and drop the forwarded context."""
+        self._round_trace.pop(state.round_number, None)
+        if state.trace is None:
+            return
+        record = self.tracer.record(
+            "round",
+            state.wall_opened,
+            self.tracer.clock(),
+            span_id=state.span_id,
+            node=self.name,
+            trace_id=state.trace.trace_id,
+            round=state.round_number,
+            parent_ref=state.trace.span_ref,
+            status=status,
+        )
+        if record is not None:
+            self.flight.record_span(record)
+
     def _mark_phase(self, state: _NetRound, phase: str) -> None:
         """Credit the time since the last boundary to ``phase``."""
         now = self._clock()
@@ -551,6 +703,21 @@ class ServerNode(NodeRuntime):
             now - state.last_mark
         )
         state.last_mark = now
+        if state.trace is not None:
+            wall = self.tracer.clock()
+            record = self.tracer.record(
+                "phase",
+                state.wall_mark,
+                wall,
+                parent_id=state.span_id,
+                name=phase,
+                node=self.name,
+                trace_id=state.trace.trace_id,
+                round=state.round_number,
+            )
+            state.wall_mark = wall
+            if record is not None:
+                self.flight.record_span(record)
 
     # -- envelope handlers ---------------------------------------------
 
@@ -637,6 +804,7 @@ class ServerNode(NodeRuntime):
             "index": self.index,
             "rounds_done": self.rounds_done,
             "recv_count": self.recv_count,
+            "generation": self.generation,
             "convicted": sorted(self._convicted),
             "state": encode_server_state(self.server),
         }
@@ -650,6 +818,10 @@ class ServerNode(NodeRuntime):
         decode_server_state(self.server, payload["state"])
         self.rounds_done = int(payload.get("rounds_done", 0))
         self.recv_count = int(payload.get("recv_count", 0))
+        # Each restore starts a new telemetry generation: the restored
+        # process re-accumulates its registry from zero, and the bumped
+        # generation tells the coordinator which snapshot supersedes which.
+        self.generation = int(payload.get("generation", 0)) + 1
         self._convicted = {int(i) for i in payload.get("convicted", ())}
         # Checkpoints are cut at round barriers: anything at or below the
         # restored round count already finished, so replayed stragglers
@@ -658,6 +830,48 @@ class ServerNode(NodeRuntime):
         self._early = {}
         self._early_count = 0
         self._completed_through = self.rounds_done - 1
+
+    def health_snapshot(self) -> dict:
+        health = super().health_snapshot()
+        health.update(
+            inflight=len(self._rounds),
+            view=self._last_view,
+            anonymity_set=self._last_participation,
+        )
+        return health
+
+    async def run(self) -> None:
+        """Serve the status endpoint alongside the dispatch loop.
+
+        ``policy.health_port`` > 0 binds ``health_port + server_index`` on
+        loopback with ``/metrics`` (OpenMetrics) and ``/healthz`` (JSON).
+        The status plane is best-effort: a taken port logs a counter and
+        the protocol node serves on regardless.
+        """
+        status_server = None
+        base_port = self.definition.policy.health_port
+        if base_port > 0:
+            from repro.obs.health import (
+                health_port_for,
+                render_openmetrics,
+                serve_health,
+            )
+
+            try:
+                status_server = await serve_health(
+                    lambda: render_openmetrics(
+                        self.health_snapshot(), self.registry.snapshot()
+                    ),
+                    self.health_snapshot,
+                    port=health_port_for(base_port, self.index),
+                )
+            except OSError:
+                self.registry.counter("health.port_unavailable").inc()
+        try:
+            await super().run()
+        finally:
+            if status_server is not None:
+                status_server.close()
 
     async def _broadcast_peers(self, envelope: SignedEnvelope) -> None:
         for j in range(self.definition.num_servers):
@@ -696,6 +910,7 @@ class ServerNode(NodeRuntime):
                 ordered = [state.inventories[j] for j in range(num_servers)]
                 participation = self.server.receive_inventories(ordered)
                 ok = self.server.participation_ok()
+                self._last_participation = participation
                 state.inventory_digested = True
                 self._mark_phase(state, "inventory")
                 await self._send(
@@ -853,8 +1068,12 @@ class ServerNode(NodeRuntime):
             return
         state.entered_views.add(view)
         state.view = max(state.view, view)
+        self._last_view = max(self._last_view, view)
         if view > 0:
             self.registry.counter("consensus.views_changed").inc()
+            self._flight_event(
+                "view_change", round=state.round_number, view=view
+            )
         leader = self._leader_for(state, view)
         self._arm_timer(state, view)
         if leader == self.index:
@@ -984,6 +1203,9 @@ class ServerNode(NodeRuntime):
         state.poisoned_views.add(view)
         self._convicted.add(sender)
         state.excluded.add(sender)
+        self._flight_event(
+            "equivocation", round=state.round_number, view=view, leader=sender
+        )
         if state.proof is None:
             state.proof = proof
         # Relay both signed proposals: every peer convicts from the same
@@ -1034,6 +1256,7 @@ class ServerNode(NodeRuntime):
         self.registry.histogram("span.round").observe(
             self._clock() - state.opened_at
         )
+        self._close_trace(state, "certified")
         del self._rounds[state.round_number]
         self._mark_completed(state.round_number)
         self._maybe_checkpoint()
@@ -1056,6 +1279,8 @@ class ServerNode(NodeRuntime):
 
 class ClientNode(NodeRuntime):
     """One client as a message-driven daemon."""
+
+    role = "client"
 
     def __init__(
         self,
@@ -1089,20 +1314,49 @@ class ClientNode(NodeRuntime):
         if kind == K_ROUND_BEGIN:
             round_number, packed = _unpack_typed(body, "ib", "round-begin")
             if self.index in decode_int_list(packed):
+                context = (
+                    TraceContext.from_bytes(self._inbound_trace)
+                    if self.tracer.enabled
+                    else None
+                )
+                wall_started = (
+                    self.tracer.clock() if context is not None else 0.0
+                )
                 started = self._clock()
                 envelope = self.client.produce_ciphertext(round_number)
                 self.registry.histogram("span.phase.build").observe(
                     self._clock() - started
                 )
+                if context is not None:
+                    record = self.tracer.record(
+                        "phase",
+                        wall_started,
+                        self.tracer.clock(),
+                        name="build",
+                        node=self.name,
+                        trace_id=context.trace_id,
+                        round=round_number,
+                        parent_ref=context.span_ref,
+                    )
+                    self.flight.record_span(record)
+                    # The ciphertext envelope continues the trace with the
+                    # build span as the upstream server's causal parent.
+                    self._round_trace[round_number] = context.child(
+                        self.name, record.span_id
+                    ).to_bytes()
                 upstream = self.definition.upstream_server(self.index)
                 await self._send_envelope(
                     self.definition.server_name(upstream), envelope
                 )
+                self._round_trace.pop(round_number, None)
             return None
         if kind == K_ROUND_FAILED:
             round_number, participation = _unpack_typed(body, "ii", "round-failed")
             self.client.handle_round_failure(round_number, participation)
             self._mark_round_done(round_number)
+            self._flight_event(
+                "round_failure", round=round_number, participation=participation
+            )
             self._maybe_checkpoint()
             return b""
         if kind == K_POST:
@@ -1175,6 +1429,7 @@ class ClientNode(NodeRuntime):
             "index": self.index,
             "rounds_done": self.rounds_done,
             "recv_count": self.recv_count,
+            "generation": self.generation,
             "state": encode_client_state(self.client),
         }
 
@@ -1187,6 +1442,7 @@ class ClientNode(NodeRuntime):
         decode_client_state(self.client, payload["state"])
         self.rounds_done = int(payload.get("rounds_done", 0))
         self.recv_count = int(payload.get("recv_count", 0))
+        self.generation = int(payload.get("generation", 0)) + 1
 
 
 # ---------------------------------------------------------------------------
@@ -1248,6 +1504,8 @@ def node_from_config(config: dict, transport: Transport):
         )
     else:
         raise ValueError(f"unknown node role {config['role']!r}")
+    if config.get("flight_dir"):
+        node.flight_dir = config["flight_dir"]
     if config.get("resume_from"):
         # Restart-from-checkpoint: rebuild the phase-machine state the
         # dead process had at its last round barrier, then let the hub's

@@ -38,6 +38,7 @@ import random
 import sys
 import tempfile
 import threading
+import time
 from collections.abc import Mapping, Sequence
 
 from repro.core.accusation import (
@@ -107,6 +108,9 @@ from repro.net.node import (
     K_SNAPSHOT,
     K_STATUS_REQUEST,
     K_TELEMETRY,
+    K_TRACE,
+    K_FLIGHT,
+    K_HEALTH,
     ServerNode,
 )
 from repro.net.transport import (
@@ -136,6 +140,8 @@ from repro.obs import (
     MetricsRegistry,
     Tracer,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.propagate import TraceContext, round_trace_id, span_ref
 from repro.persist.audit import AuditLog
 from repro.persist.checkpoint import read_checkpoint, write_checkpoint
 from repro.persist.codec import (
@@ -207,6 +213,8 @@ class _Hub:
         self._faults = dict(faults or {})
         #: Optional callback(name, replayed_count) fired after a resume.
         self.on_resume = None
+        #: Optional callback(name) fired when a peer's link goes dark.
+        self.on_dark = None
 
     def expect(self, names: Sequence[str]) -> None:
         self._expected = set(names)
@@ -276,6 +284,8 @@ class _Hub:
         link.disconnected_at = asyncio.get_running_loop().time()
         self.transports.pop(name, None)
         self.registry.counter("net.links.lost").inc()
+        if self.on_dark is not None:
+            self.on_dark(name)
 
     async def deliver(self, name: str, payload: bytes) -> None:
         """Send one frame to a peer, durably: every frame gets a sequence
@@ -439,6 +449,32 @@ class _Hub:
             task.cancel()
 
 
+def dedupe_telemetry_replies(decoded: list[dict]) -> list[dict]:
+    """Per-node telemetry replies → the snapshots that should be merged.
+
+    Nodes wrap their registry snapshot as ``{"node", "generation",
+    "snapshot"}`` so a reply can be attributed; after a reconnect storm
+    or a node restart the coordinator may hold more than one reply for
+    the same ``(node, generation)`` — counting both would double every
+    counter.  Keep the first reply per identity; replies from a *new*
+    generation (a restore bumps it) are genuinely fresh registries and
+    merge normally.  Legacy bare snapshots (no wrapper) pass through
+    untouched.
+    """
+    seen: set[tuple[str, int]] = set()
+    snapshots: list[dict] = []
+    for reply in decoded:
+        if "snapshot" in reply and "node" in reply:
+            identity = (str(reply["node"]), int(reply.get("generation", 0)))
+            if identity in seen:
+                continue
+            seen.add(identity)
+            snapshots.append(reply["snapshot"])
+        else:
+            snapshots.append(reply)
+    return snapshots
+
+
 def _raise_remote(body: bytes) -> None:
     try:
         name, message = unpack_fields(body)
@@ -475,6 +511,7 @@ class NetworkedSession:
         faults: Mapping[str, FaultSchedule] | None = None,
         checkpoint_dir: str | None = None,
         audit_path: str | None = None,
+        flight_dir: str | None = None,
     ) -> None:
         if mode not in MODES:
             raise ProtocolError(f"mode must be one of {MODES}, got {mode!r}")
@@ -492,10 +529,26 @@ class NetworkedSession:
         self.telemetry = True if telemetry is None else bool(telemetry)
         if self.telemetry:
             self.registry = MetricsRegistry()
-            self.tracer = Tracer(registry=self.registry)
+            # Wall clock, not perf_counter: coordinator spans must be
+            # time-comparable with node spans recorded in other processes
+            # so the stitched trace orders causally.
+            self.tracer = Tracer(registry=self.registry, clock=time.time)
         else:
             self.registry = NULL_REGISTRY
             self.tracer = NULL_TRACER
+        #: Distributed tracing rides the telemetry switch AND the policy
+        #: sampling knob; protocol bytes are identical either way.
+        self._trace_enabled = (
+            self.telemetry and definition.policy.trace_sampling
+        )
+        #: Coordinator-side flight recorder plus the dump directory shared
+        #: with the nodes (subprocess nodes dump into it themselves).
+        self.flight = FlightRecorder(
+            definition.policy.flight_recorder_events,
+            node=COORDINATOR,
+            clock=time.time,
+        )
+        self.flight_dir = flight_dir
         self.round_number = 0
         self.records: list[RoundRecord] = []
         self.expelled: set[int] = set()
@@ -564,6 +617,7 @@ class NetworkedSession:
         faults: Mapping[str, FaultSchedule] | None = None,
         checkpoint_dir: str | None = None,
         audit_path: str | None = None,
+        flight_dir: str | None = None,
     ) -> "NetworkedSession":
         """Fresh keys and node seeds, derived exactly as
         :meth:`DissentSession.build` derives them — the same ``seed``
@@ -587,6 +641,7 @@ class NetworkedSession:
             faults=faults,
             checkpoint_dir=checkpoint_dir,
             audit_path=audit_path,
+            flight_dir=flight_dir,
         )
 
     def __enter__(self) -> "NetworkedSession":
@@ -664,6 +719,7 @@ class NetworkedSession:
             faults=self._faults,
         )
         self._hub.on_resume = self._note_resume
+        self._hub.on_dark = self._note_dark
         self._hub.expect(self._node_names())
         if self.mode == "subprocess":
             await self._start_tcp_listener()
@@ -690,6 +746,30 @@ class NetworkedSession:
         """Hub callback: one peer completed the resume handshake."""
         if self.audit is not None:
             self.audit.append("resume", node=name, replayed=replayed)
+
+    def _note_dark(self, name: str) -> None:
+        """Hub callback: one peer's link was just lost."""
+        self._flight_event("link_loss", node=name)
+
+    def _flight_event(self, event: str, **data) -> None:
+        """Record a failure trigger; dump the ring when a dir is set.
+
+        Every automatic dump is chained into the audit log, so the
+        hash-chained history names the flight file that explains it.
+        """
+        self.flight.note(event, **data)
+        if not (self.flight_dir and self.flight.enabled):
+            return
+        path = os.path.join(
+            self.flight_dir,
+            f"flight-{COORDINATOR}-{self.flight.dumps}-{event}.ndjson",
+        )
+        try:
+            dumped = self.flight.dump(path, event)
+        except OSError:
+            return
+        if dumped and self.audit is not None:
+            self.audit.append("flight_dump", path=dumped, reason=event)
 
     def _checkpoint_path_for(self, role: str, index: int) -> str | None:
         if self.checkpoint_dir is None:
@@ -751,6 +831,7 @@ class NetworkedSession:
             name = self.definition.client_name(index)
         if resume_from is not None:
             node._restore_payload(read_checkpoint(resume_from, kind="node"))
+        node.flight_dir = self.flight_dir
         task = asyncio.create_task(node.run())
         self._node_tasks.append(task)
         self._node_tasks_by_name[name] = task
@@ -782,6 +863,8 @@ class NetworkedSession:
         checkpoint_path = self._checkpoint_path_for(role, index)
         if checkpoint_path is not None:
             config["checkpoint_path"] = checkpoint_path
+        if self.flight_dir is not None:
+            config["flight_dir"] = self.flight_dir
         if index in factories:
             factory, kwargs = factories[index]
             config["node_class"] = f"{factory.__module__}:{factory.__qualname__}"
@@ -920,9 +1003,11 @@ class NetworkedSession:
             )
             bucket.put_nowait(frame)
 
-    async def _send(self, to: str, kind: str, seq: int, body: bytes) -> None:
+    async def _send(
+        self, to: str, kind: str, seq: int, body: bytes, trace: bytes = b""
+    ) -> None:
         assert self._hub is not None
-        payload = encode_routed(to, COORDINATOR, kind, seq, body)
+        payload = encode_routed(to, COORDINATOR, kind, seq, body, trace)
         if self.registry.enabled:
             self.registry.counter("net.coord.sent.frames").inc()
             self.registry.counter("net.coord.sent.bytes").inc(len(payload))
@@ -1001,10 +1086,10 @@ class NetworkedSession:
         return frames
 
     async def _broadcast(
-        self, names: Sequence[str], kind: str, body: bytes
+        self, names: Sequence[str], kind: str, body: bytes, trace: bytes = b""
     ) -> None:
         for name in names:
-            await self._send(name, kind, 0, body)
+            await self._send(name, kind, 0, body, trace)
 
     def _server_names(self) -> list[str]:
         return [
@@ -1095,12 +1180,35 @@ class NetworkedSession:
             online = set(range(definition.num_clients))
         submitters = sorted(i for i in online if i not in self.expelled)
         begin_body = pack_fields(r, encode_int_list(submitters))
-        with self.tracer.span("round", round=r):
+        trace_id = (
+            round_trace_id(definition.group_id(), r)
+            if self._trace_enabled
+            else None
+        )
+        span_attrs = {"round": r, "node": COORDINATOR}
+        if trace_id is not None:
+            span_attrs["trace_id"] = trace_id
+        with self.tracer.span("round", **span_attrs) as round_span:
+            # The round-begin frames carry the trace context (trace id +
+            # this span as parent) so every node's spans stitch under one
+            # causal trace.  Pure metadata: empty when sampling is off,
+            # and receivers ignore it for all protocol decisions.
+            trace = (
+                TraceContext(
+                    trace_id, span_ref(COORDINATOR, round_span.span_id), r
+                ).to_bytes()
+                if trace_id is not None
+                else b""
+            )
             # Servers first so their round state opens before ciphertexts
             # land (late arrivals would only be buffered, but why make
             # them late).
-            await self._broadcast(self._server_names(), K_ROUND_BEGIN, begin_body)
-            await self._broadcast(self._client_names(), K_ROUND_BEGIN, begin_body)
+            await self._broadcast(
+                self._server_names(), K_ROUND_BEGIN, begin_body, trace
+            )
+            await self._broadcast(
+                self._client_names(), K_ROUND_BEGIN, begin_body, trace
+            )
 
             try:
                 statuses = await self._gather(
@@ -1153,6 +1261,9 @@ class NetworkedSession:
                         reason="participation below floor",
                         participation=participation,
                     )
+                self._flight_event(
+                    "round_failure", round=r, participation=participation
+                )
                 return record
 
             await self._broadcast(
@@ -1214,6 +1325,8 @@ class NetworkedSession:
                 certificate=certificate,
             )
             self.records.append(record)
+        if self.tracer.enabled and self.tracer.events:
+            self.flight.record_span(self.tracer.events[-1])
         self.registry.counter("session.rounds_completed").inc()
         if shuffle_requested:
             self.registry.counter("session.shuffle_requests").inc()
@@ -1293,6 +1406,9 @@ class NetworkedSession:
                     leader=certificate.leader,
                     votes=len(certificate.votes),
                 )
+            self._flight_event(
+                "view_change", round=r, views=certificate.view
+            )
         return certificate
 
     def _adopt_proofs(self, r: int, proofs: dict) -> None:
@@ -1313,6 +1429,9 @@ class NetworkedSession:
                     leader=proof.leader,
                     reported_by=sender,
                 )
+            self._flight_event(
+                "equivocation", round=proof.round_number, leader=proof.leader
+            )
 
     async def _abandon_round_async(self, r: int, reason: str) -> RoundRecord:
         """Give up on a wedged round (§3.7) instead of hanging the group.
@@ -1362,6 +1481,7 @@ class NetworkedSession:
             self.audit.append(
                 "abandon", round=r, reason=reason, participation=participation
             )
+        self._flight_event("abandon", round=r, reason=reason)
         await self._expel_dark_async()
         return record
 
@@ -1835,9 +1955,72 @@ class NetworkedSession:
             replies = await asyncio.gather(
                 *[self._request(name, K_TELEMETRY, b"") for name in live]
             )
-            for reply in replies:
-                merged.merge_snapshot(decode_telemetry_body(reply))
+            decoded = [decode_telemetry_body(reply) for reply in replies]
+            for snapshot in dedupe_telemetry_replies(decoded):
+                merged.merge_snapshot(snapshot)
         return merged.snapshot()
+
+    def trace_events(self) -> list[dict]:
+        """All finished spans — coordinator plus every live node.
+
+        Each event dict carries a ``node`` attr and (when tracing was on
+        for the round) a ``trace_id``/``parent_ref``, so
+        :func:`repro.obs.critical.assemble_traces` can stitch one round's
+        spans from every process into a single causal trace.
+        """
+        self._ensure_started()
+        return self._call(self._trace_events_async())
+
+    async def _trace_events_async(self) -> list[dict]:
+        events = [e.as_dict() for e in self.tracer.events]
+        if self._trace_enabled:
+            live = [
+                name
+                for name in self._node_names()
+                if self._hub is None or not self._hub.is_dark(name)
+            ]
+            replies = await asyncio.gather(
+                *[self._request(name, K_TRACE, b"") for name in live]
+            )
+            for reply in replies:
+                events.extend(json.loads(reply.decode("utf-8")))
+        return events
+
+    def health(self) -> list[dict]:
+        """One health snapshot per live node (servers and clients)."""
+        self._ensure_started()
+        return self._call(self._health_async())
+
+    async def _health_async(self) -> list[dict]:
+        live = [
+            name
+            for name in self._node_names()
+            if self._hub is None or not self._hub.is_dark(name)
+        ]
+        replies = await asyncio.gather(
+            *[self._request(name, K_HEALTH, b"") for name in live]
+        )
+        return [json.loads(reply.decode("utf-8")) for reply in replies]
+
+    def flight_dumps(self) -> list[str]:
+        """Current flight-recorder contents, coordinator first, as NDJSON."""
+        self._ensure_started()
+        return self._call(self._flight_dumps_async())
+
+    async def _flight_dumps_async(self) -> list[str]:
+        dumps = []
+        if self.flight.enabled:
+            dumps.append(self.flight.ndjson("manual"))
+        live = [
+            name
+            for name in self._node_names()
+            if self._hub is None or not self._hub.is_dark(name)
+        ]
+        replies = await asyncio.gather(
+            *[self._request(name, K_FLIGHT, b"") for name in live]
+        )
+        dumps.extend(reply.decode("utf-8") for reply in replies)
+        return dumps
 
     def post(self, client_index: int, message: bytes) -> None:
         """Queue an anonymous message from one client."""

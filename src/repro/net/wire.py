@@ -221,6 +221,10 @@ class RoutedFrame:
     Control traffic (round barriers, queries, acks) and serialized
     envelopes both travel as routed frames; ``kind`` selects the handler
     and ``seq`` correlates request/reply pairs (0 = unsolicited).
+    ``trace`` is an optional serialized
+    :class:`~repro.obs.propagate.TraceContext` riding *outside* the
+    signed payload — observability metadata the receiver may ignore,
+    never protocol content.
     """
 
     to: str
@@ -228,16 +232,26 @@ class RoutedFrame:
     kind: str
     seq: int
     body: bytes
+    trace: bytes = b""
 
 
-def encode_routed(to: str, sender: str, kind: str, seq: int, body: bytes) -> bytes:
-    return pack_fields(_ROUTED_MAGIC, to, sender, kind, seq, body)
+def encode_routed(
+    to: str, sender: str, kind: str, seq: int, body: bytes, trace: bytes = b""
+) -> bytes:
+    # The six-field form is emitted whenever there is no trace context,
+    # so frames with tracing disabled are byte-identical to pre-tracing
+    # builds and old decoders keep working.
+    if not trace:
+        return pack_fields(_ROUTED_MAGIC, to, sender, kind, seq, body)
+    return pack_fields(_ROUTED_MAGIC, to, sender, kind, seq, body, trace)
 
 
 def decode_routed(data: bytes) -> RoutedFrame:
     fields = _unpack(data, "routed frame")
-    if len(fields) != 6:
-        raise WireDecodeError(f"routed frame has {len(fields)} fields, expected 6")
+    if len(fields) not in (6, 7):
+        raise WireDecodeError(
+            f"routed frame has {len(fields)} fields, expected 6 or 7"
+        )
     magic = _take(fields, 0, str, "routed frame")
     if magic != _ROUTED_MAGIC:
         raise WireDecodeError(f"routed frame magic {magic!r} unsupported")
@@ -247,6 +261,7 @@ def decode_routed(data: bytes) -> RoutedFrame:
         kind=_take(fields, 3, str, "routed frame"),
         seq=_take(fields, 4, int, "routed frame"),
         body=_take(fields, 5, bytes, "routed frame"),
+        trace=_take(fields, 6, bytes, "routed frame") if len(fields) == 7 else b"",
     )
 
 

@@ -33,6 +33,31 @@ from .export import (
     render_table,
     snapshot_json,
 )
+from .propagate import (
+    TraceContext,
+    context_bytes,
+    round_trace_id,
+    span_ref,
+)
+from .critical import (
+    assemble_traces,
+    chrome_trace_json,
+    critical_path,
+    phase_breakdown,
+    trace_table,
+)
+from .flight import (
+    DUMP_REASONS,
+    FlightRecorder,
+    flight_table,
+    parse_flight_dump,
+)
+from .health import (
+    health_table,
+    merge_health,
+    render_openmetrics,
+    serve_health,
+)
 
 __all__ = [
     "LATENCY_EDGES_S",
@@ -50,11 +75,28 @@ __all__ = [
     "Span",
     "SpanRecord",
     "Tracer",
+    "DUMP_REASONS",
+    "FlightRecorder",
+    "TraceContext",
+    "assemble_traces",
+    "chrome_trace_json",
+    "context_bytes",
+    "critical_path",
     "events_ndjson",
+    "flight_table",
     "global_registry",
+    "health_table",
+    "merge_health",
+    "parse_flight_dump",
+    "phase_breakdown",
     "phase_table",
+    "render_openmetrics",
     "render_table",
+    "round_trace_id",
+    "serve_health",
     "set_global_registry",
     "snapshot_json",
+    "span_ref",
     "telemetry_env_enabled",
+    "trace_table",
 ]

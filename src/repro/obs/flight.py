@@ -1,0 +1,149 @@
+"""Bounded flight recorder: the last N observability events, always on.
+
+Every node (and the coordinator) keeps a :class:`FlightRecorder` — a
+fixed-capacity ring of small event dicts fed from span records and
+free-form notes.  In steady state it costs one deque append per event;
+when something goes wrong (round failure, view change, equivocation
+conviction, abandonment, link loss) the harness calls :meth:`dump` and
+the ring's contents land in an NDJSON file next to the run's artifacts,
+so the *lead-up* to a failure is captured without unbounded logging.
+
+Capacity 0 disables the recorder entirely (every method is a cheap
+no-op), which is how the ``flight_recorder_events`` policy knob turns
+the feature off.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from collections.abc import Iterable, Mapping
+
+#: Reasons the runtime dumps automatically; free-form reasons are also
+#: accepted — this tuple documents the built-in triggers.
+DUMP_REASONS = (
+    "round_failure",
+    "view_change",
+    "equivocation",
+    "abandon",
+    "link_loss",
+    "manual",
+)
+
+
+class FlightRecorder:
+    """Fixed-size ring of recent events with NDJSON snapshot/dump."""
+
+    def __init__(self, capacity: int, node: str = "local", clock=None) -> None:
+        if capacity < 0:
+            raise ValueError("flight recorder capacity must be >= 0")
+        self.capacity = int(capacity)
+        self.node = node
+        self._clock = clock
+        self._ring: deque[dict] = deque(maxlen=self.capacity or 1)
+        self._seq = 0
+        self.dumps = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._ring) if self.enabled else 0
+
+    def _stamp(self) -> float | None:
+        return self._clock() if self._clock is not None else None
+
+    def note(self, event: str, **data) -> None:
+        """Record one free-form event (kind + payload) into the ring."""
+        if not self.enabled:
+            return
+        self._seq += 1
+        entry = {"seq": self._seq, "node": self.node, "event": event, "data": data}
+        stamp = self._stamp()
+        if stamp is not None:
+            entry["at"] = stamp
+        self._ring.append(entry)
+
+    def record_span(self, record) -> None:
+        """Record a finished span (a SpanRecord or its as_dict form)."""
+        if not self.enabled:
+            return
+        payload = record if isinstance(record, Mapping) else record.as_dict()
+        self.note("span", **payload)
+
+    def snapshot(self) -> list[dict]:
+        """The ring's contents, oldest first, as plain dicts."""
+        return [dict(entry) for entry in self._ring] if self.enabled else []
+
+    def ndjson(self, reason: str = "manual") -> str:
+        """Render the ring as NDJSON, prefixed with a header line."""
+        header = {
+            "flight": self.node,
+            "reason": reason,
+            "events": len(self),
+            "capacity": self.capacity,
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        lines.extend(
+            json.dumps(entry, sort_keys=True, separators=(",", ":"))
+            for entry in self.snapshot()
+        )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path, reason: str = "manual") -> str | None:
+        """Write the ring to ``path`` as NDJSON; returns the path written.
+
+        No-op (returns ``None``) when disabled or empty — a dump with
+        nothing in it would only bury the real artifacts.
+        """
+        if not self.enabled or not self._ring:
+            return None
+        text = self.ndjson(reason)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        self.dumps += 1
+        return str(path)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+
+def parse_flight_dump(text: str) -> tuple[dict, list[dict]]:
+    """NDJSON dump text → (header, events); the inverse of ``ndjson``."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty flight dump")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or "flight" not in header:
+        raise ValueError("flight dump missing header line")
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+def flight_table(dumps: Iterable[tuple[dict, list[dict]]]) -> str:
+    """Render parsed flight dumps for ``repro.obs.report --flight``."""
+    from .export import _render_rows
+
+    sections: list[str] = []
+    for header, events in dumps:
+        title = (
+            f"flight {header.get('flight', '?')}  reason={header.get('reason', '?')}  "
+            f"events={header.get('events', len(events))}"
+        )
+        body = []
+        for entry in events:
+            data = entry.get("data", {})
+            if entry.get("event") == "span":
+                detail = "{}={:.3f}ms".format(
+                    data.get("attrs", {}).get("name", data.get("name", "span")),
+                    (data.get("end", 0.0) - data.get("start", 0.0)) * 1e3,
+                )
+            else:
+                detail = json.dumps(data, sort_keys=True, separators=(",", ":"))
+                if len(detail) > 60:
+                    detail = detail[:57] + "..."
+            body.append(
+                (str(entry.get("seq", "")), str(entry.get("event", "")), detail)
+            )
+        sections.append(title + "\n" + _render_rows(("seq", "event", "detail"), body))
+    return "\n\n".join(sections) if sections else "(no flight dumps)"

@@ -2,8 +2,9 @@
 
 Usage::
 
-    PYTHONPATH=src python -m repro.obs.report METRICS_demo.json [--full]
-        [--audit AUDIT.ndjson]
+    PYTHONPATH=src python -m repro.obs.report [METRICS_demo.json] [--full]
+        [--audit AUDIT.ndjson] [--trace TRACE.json]
+        [--health HEALTH.json] [--flight DUMP.ndjson ...]
 
 Reads a JSON registry snapshot (as written by ``snapshot_json`` or the
 networked demo's ``--metrics-out``) and prints the per-phase latency
@@ -12,6 +13,14 @@ table; ``--full`` appends the complete counter/gauge/histogram listing.
 log: every event kind present is counted (unknown kinds are listed, not
 skipped), and control-plane events — ``view_change`` and
 ``equivocation`` — are itemized with their round, view, and leader.
+
+``--trace`` reads a merged span log (the networked demo's
+``--trace-out`` artifact, or a raw JSON list of span dicts) and prints
+each round's stitched critical path plus the per-node phase breakdown.
+``--health`` reads a JSON list of per-node health snapshots and prints
+the merged deployment view.  ``--flight`` reads one or more NDJSON
+flight-recorder dumps and renders their event rings.  Any of the three
+may be used without a metrics snapshot.
 """
 
 from __future__ import annotations
@@ -22,8 +31,9 @@ import sys
 from .export import phase_table, render_table
 
 USAGE = (
-    "usage: python -m repro.obs.report SNAPSHOT.json [--full] "
-    "[--audit AUDIT.ndjson]"
+    "usage: python -m repro.obs.report [SNAPSHOT.json] [--full] "
+    "[--audit AUDIT.ndjson] [--trace TRACE.json] [--health HEALTH.json] "
+    "[--flight DUMP.ndjson ...]"
 )
 
 
@@ -60,6 +70,11 @@ def audit_table(entries: list[dict]) -> str:
                 f"view={data.get('view')} leader={data.get('leader')} "
                 f"reported_by={data.get('reported_by')}"
             )
+        elif kind == "flight_dump":
+            details.append(
+                f"  flight_dump   reason={data.get('reason')} "
+                f"path={data.get('path')}"
+            )
     if details:
         lines.append("")
         lines.append("control-plane events:")
@@ -67,38 +82,102 @@ def audit_table(entries: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def _load_json(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _trace_events_from(document) -> list[dict]:
+    """A --trace file is either a raw span list or a demo artifact dict."""
+    if isinstance(document, list):
+        return document
+    if isinstance(document, dict) and isinstance(document.get("events"), list):
+        return document["events"]
+    raise ValueError(
+        "expected a JSON list of span events or an object with an "
+        "'events' list"
+    )
+
+
+def _take_flag(argv: list[str], flag: str) -> str | None:
+    """Pop ``flag VALUE`` from argv; None when absent, raises on no value."""
+    if flag not in argv:
+        return None
+    at = argv.index(flag)
+    if at + 1 >= len(argv):
+        raise ValueError(f"{flag} needs an argument")
+    value = argv[at + 1]
+    del argv[at : at + 2]
+    return value
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     full = "--full" in argv
     argv = [a for a in argv if a != "--full"]
-    audit_path = None
-    if "--audit" in argv:
-        at = argv.index("--audit")
-        if at + 1 >= len(argv):
-            print(USAGE, file=sys.stderr)
-            return 2
-        audit_path = argv[at + 1]
-        del argv[at : at + 2]
-    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+    try:
+        audit_path = _take_flag(argv, "--audit")
+        trace_path = _take_flag(argv, "--trace")
+        health_path = _take_flag(argv, "--health")
+        flight_paths = []
+        while "--flight" in argv:
+            flight_paths.append(_take_flag(argv, "--flight"))
+    except ValueError:
         print(USAGE, file=sys.stderr)
         return 2
+    has_extras = bool(trace_path or health_path or flight_paths or audit_path)
+    if len(argv) > 1 or (len(argv) == 0 and not has_extras):
+        print(USAGE, file=sys.stderr)
+        return 2
+    if argv and argv[0] in ("-h", "--help"):
+        print(USAGE, file=sys.stderr)
+        return 2
+
+    sections: list[str] = []
     try:
-        with open(argv[0], "r", encoding="utf-8") as fh:
-            snapshot = json.load(fh)
+        if argv:
+            snapshot = _load_json(argv[0])
+            if not isinstance(snapshot, dict):
+                print(
+                    f"error: {argv[0]} is not a registry snapshot",
+                    file=sys.stderr,
+                )
+                return 1
+            sections.append(
+                "phase breakdown (§6 style)\n" + phase_table(snapshot)
+            )
+            if full:
+                sections.append(render_table(snapshot))
+        if trace_path is not None:
+            from .critical import trace_table
+
+            events = _trace_events_from(_load_json(trace_path))
+            sections.append(
+                "round traces (stitched critical paths)\n"
+                + trace_table(events)
+            )
+        if health_path is not None:
+            from .health import health_table
+
+            snapshots = _load_json(health_path)
+            if not isinstance(snapshots, list):
+                raise ValueError("expected a JSON list of health snapshots")
+            sections.append("node health\n" + health_table(snapshots))
+        if flight_paths:
+            from .flight import flight_table, parse_flight_dump
+
+            dumps = []
+            for path in flight_paths:
+                with open(path, "r", encoding="utf-8") as fh:
+                    dumps.append(parse_flight_dump(fh.read()))
+            sections.append("flight recorder dumps\n" + flight_table(dumps))
     except OSError as exc:
-        print(f"error: cannot read {argv[0]}: {exc}", file=sys.stderr)
+        print(f"error: cannot read input: {exc}", file=sys.stderr)
         return 1
     except ValueError as exc:
-        print(f"error: {argv[0]} is not valid JSON: {exc}", file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    if not isinstance(snapshot, dict):
-        print(f"error: {argv[0]} is not a registry snapshot", file=sys.stderr)
-        return 1
-    print("phase breakdown (§6 style)")
-    print(phase_table(snapshot))
-    if full:
-        print()
-        print(render_table(snapshot))
+
     if audit_path is not None:
         from repro.errors import CheckpointError
         from repro.persist.audit import read_audit_log
@@ -108,9 +187,9 @@ def main(argv: list[str] | None = None) -> int:
         except CheckpointError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        print()
-        print("audit log (hash chain verified)")
-        print(audit_table(entries))
+        sections.append("audit log (hash chain verified)\n" + audit_table(entries))
+
+    print("\n\n".join(sections))
     return 0
 
 

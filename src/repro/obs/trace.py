@@ -118,19 +118,42 @@ class Tracer:
         """Open a root span."""
         return self._start(name, attrs, parent_id=None)
 
-    def _start(self, name: str, attrs: dict, parent_id: int | None) -> Span:
+    def allocate_id(self) -> int:
+        """Reserve a span id without opening a span.
+
+        Lets message-driven code hand out a parent id at an event's
+        *start* (so children recorded along the way can reference it) and
+        fill in the parent record later with :meth:`record`.
+        """
         span_id = self._next_id
         self._next_id += 1
-        return Span(self, span_id, parent_id, name, attrs)
+        return span_id
 
-    def _finish(self, span: Span) -> SpanRecord:
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        /,
+        parent_id: int | None = None,
+        span_id: int | None = None,
+        **attrs,
+    ) -> SpanRecord:
+        """Append a span with explicit timestamps (no live ``Span``).
+
+        The explicit-time path exists for distributed stitching: node
+        daemons time phase boundaries on a wall clock that is comparable
+        across processes and record the finished interval in one shot.
+        ``span_id`` may come from an earlier :meth:`allocate_id`;
+        durations feed the same registry histograms as live spans.
+        """
         record = SpanRecord(
-            span_id=span.span_id,
-            parent_id=span.parent_id,
-            name=span.name,
-            attrs=span.attrs,
-            start=span.start,
-            end=self.clock(),
+            span_id=span_id if span_id is not None else self.allocate_id(),
+            parent_id=parent_id,
+            name=name,
+            attrs=attrs,
+            start=start,
+            end=end,
         )
         if len(self.events) < self.max_events:
             self.events.append(record)
@@ -140,6 +163,19 @@ class Tracer:
             record.duration
         )
         return record
+
+    def _start(self, name: str, attrs: dict, parent_id: int | None) -> Span:
+        return Span(self, self.allocate_id(), parent_id, name, attrs)
+
+    def _finish(self, span: Span) -> SpanRecord:
+        return self.record(
+            span.name,
+            span.start,
+            self.clock(),
+            parent_id=span.parent_id,
+            span_id=span.span_id,
+            **span.attrs,
+        )
 
     def clear(self) -> None:
         self.events.clear()
@@ -181,6 +217,12 @@ class NullTracer:
 
     def span(self, name: str, /, **attrs) -> _NullSpan:
         return NULL_SPAN
+
+    def allocate_id(self) -> int:
+        return 0
+
+    def record(self, name, start, end, /, parent_id=None, span_id=None, **attrs):
+        return None
 
     def clear(self) -> None:
         pass

@@ -33,6 +33,7 @@ EVENT_TYPES = (
     "checkpoint",
     "view_change",
     "equivocation",
+    "flight_dump",
 )
 
 
